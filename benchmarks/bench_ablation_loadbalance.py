@@ -1,0 +1,131 @@
+"""Ablation — the Section VI optimization roadmap, quantified.
+
+Two of the paper's named future optimizations are implemented and
+measured here:
+
+* **multiple trees per rank** ("improve (nodal) load balancing by using
+  multiple trees at each rank, enabling an improved threading of the
+  tree-build"): max-block particle count shrinks ~1/n_trees even on
+  clustered data, bounding the longest single-thread build;
+* **threaded forward CIC** ("fully thread all the components of the
+  long-range solver, in particular the forward CIC algorithm"):
+  privatization gives perfect worker balance at n_workers x grid memory;
+  slab ownership gives shared-grid memory but inherits the particle
+  distribution's imbalance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.grid.cic import cic_deposit
+from repro.grid.threaded_cic import ThreadedCIC
+from repro.shortrange.grid_force import default_grid_force_fit
+from repro.shortrange.kernel import ShortRangeKernel
+from repro.shortrange.multitree import MultiTreeShortRange
+
+from conftest import print_table
+
+
+def clustered_cloud(rng, n_dense=1600, n_diffuse=400, box=16.0):
+    pos = np.concatenate(
+        [
+            np.mod(rng.standard_normal((n_dense, 3)) * 0.6 + box / 3, box),
+            rng.uniform(0, box, (n_diffuse, 3)),
+        ]
+    )
+    return pos, np.ones(len(pos))
+
+
+class TestMultiTreeLoadBalance:
+    def test_build_work_bounded(self, benchmark, rng):
+        pos, masses = clustered_cloud(rng)
+        fit = default_grid_force_fit()
+
+        def sweep():
+            out = {}
+            for n_trees in (1, 2, 4, 8):
+                solver = MultiTreeShortRange(
+                    ShortRangeKernel(fit, spacing=1.0),
+                    leaf_size=32,
+                    n_trees=n_trees,
+                )
+                solver.accelerations(pos, masses, box_size=16.0)
+                out[n_trees] = solver.last_balance_report()
+            return out
+
+        reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        rows = [
+            [n, f"{max(r['particles_per_block']):.0f}",
+             f"{r['build_imbalance']:.2f}", f"{r['work_imbalance']:.2f}"]
+            for n, r in reports.items()
+        ]
+        print_table(
+            "multi-tree load balance (clustered cloud, 2000 particles)",
+            ["trees", "max block", "build imbalance", "work imbalance"],
+            rows,
+        )
+        # the largest single build shrinks ~1/n_trees
+        assert max(reports[8]["particles_per_block"]) < 0.2 * max(
+            reports[1]["particles_per_block"]
+        )
+        # and stays balanced despite the clustering
+        assert reports[8]["build_imbalance"] < 1.2
+
+    def test_answers_identical_across_tree_counts(self, benchmark, rng):
+        pos, masses = clustered_cloud(rng, n_dense=400, n_diffuse=100)
+        fit = default_grid_force_fit()
+
+        def both():
+            one = MultiTreeShortRange(
+                ShortRangeKernel(fit, 1.0), leaf_size=32, n_trees=1
+            ).accelerations(pos, masses, box_size=16.0)
+            eight = MultiTreeShortRange(
+                ShortRangeKernel(fit, 1.0), leaf_size=32, n_trees=8
+            ).accelerations(pos, masses, box_size=16.0)
+            return float(np.abs(one - eight).max())
+
+        dev = benchmark.pedantic(both, rounds=1, iterations=1)
+        print(f"\nmax deviation 1 vs 8 trees: {dev:.2e}")
+        assert dev < 1e-11
+
+
+class TestThreadedCICAblation:
+    def test_strategy_tradeoffs(self, benchmark, rng):
+        pos = rng.uniform(0, 32.0, (20000, 3))
+        pos[:10000, 0] *= 0.25  # half the particles crowd low-x slabs
+        n = 32
+
+        def sweep():
+            out = {}
+            for strategy in ThreadedCIC.STRATEGIES:
+                t = ThreadedCIC(8, strategy)
+                grid = t.deposit(pos, n, 32.0)
+                out[strategy] = (t.last_report, grid)
+            return out
+
+        results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        serial = cic_deposit(pos, n, 32.0)
+        rows = []
+        for strategy, (report, grid) in results.items():
+            rows.append([
+                strategy,
+                f"{report.load_imbalance:.2f}",
+                f"{report.private_grid_bytes / 1024:.0f} KiB",
+                f"{np.abs(grid - serial).max():.1e}",
+            ])
+        print_table(
+            "threaded forward-CIC strategies (8 workers, skewed input)",
+            ["strategy", "load imbalance", "grid memory", "max dev"],
+            rows,
+        )
+        priv, _ = results["privatize"]
+        slab, _ = results["slab"]
+        # privatization: balanced but n_workers x memory
+        assert priv.load_imbalance < 1.01
+        assert priv.private_grid_bytes == 8 * n**3 * 8
+        # slab: shared memory but inherits the skew
+        assert slab.private_grid_bytes == n**3 * 8
+        assert slab.load_imbalance > 1.5
+        # both exact
+        for _, (_, grid) in results.items():
+            assert np.allclose(grid, serial, atol=1e-12)

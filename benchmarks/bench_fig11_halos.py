@@ -1,0 +1,121 @@
+"""Fig. 11 — a massive cluster halo and its sub-halos; Section V's halo
+statistics (mergers, sub-halo accretion, the mass function).
+
+From the science run's z=0 snapshot: FOF halos, the sub-halo
+decomposition of the most massive one ("the main halo is in a relatively
+relaxed configuration ... each sub-halo, depending on its mass, can host
+one or more galaxies"), and the measured mass function against the
+Sheth-Tormen analytic prediction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.halos import fof_halos
+from repro.analysis.mass_function import (
+    measured_mass_function,
+    sheth_tormen,
+)
+from repro.analysis.subhalos import find_subhalos
+from repro.constants import particle_mass
+from repro.cosmology import LinearPower, WMAP7
+
+from conftest import print_table
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def catalog(self, science_run):
+        cfg = science_run.config
+        return fof_halos(
+            science_run.final_positions,
+            cfg.box_size,
+            b=0.2,
+            min_members=8,
+            momenta=science_run.sim.particles.momenta,
+        )
+
+    def test_halo_catalog(self, benchmark, science_run):
+        cfg = science_run.config
+        cat = benchmark.pedantic(
+            lambda: fof_halos(
+                science_run.final_positions, cfg.box_size, b=0.2, min_members=8
+            ),
+            rounds=1,
+            iterations=1,
+        )
+        mp = particle_mass(WMAP7.omega_m, cfg.box_size, cfg.n_particles)
+        rows = [
+            [h, cat.sizes[h], f"{cat.sizes[h] * mp:.2e}",
+             np.round(cat.centers[h], 1).tolist()]
+            for h in range(min(cat.n_halos, 6))
+        ]
+        print_table(
+            "Fig. 11: most massive FOF halos (b=0.2)",
+            ["halo", "particles", "mass [Msun/h]", "center"],
+            rows,
+        )
+        assert cat.n_halos >= 3
+        # the most massive halo is group/cluster scale at this resolution
+        assert cat.sizes[0] * mp > 1e13
+
+    def test_subhalo_decomposition(self, benchmark, science_run, catalog):
+        subs = benchmark.pedantic(
+            lambda: find_subhalos(
+                catalog,
+                science_run.final_positions,
+                halo=0,
+                linking_fraction=0.7,
+                min_members=5,
+                momenta=science_run.sim.particles.momenta,
+            ),
+            rounds=1,
+            iterations=1,
+        )
+        rows = [
+            ["main" if i == 0 else f"sub {i}", s.n_members,
+             f"{np.linalg.norm(s.mean_velocity - catalog.mean_velocities[0]):.3f}"]
+            for i, s in enumerate(subs[:6])
+        ]
+        print_table(
+            "sub-halo decomposition of the most massive halo",
+            ["structure", "particles", "|v - v_host|"],
+            rows,
+        )
+        assert len(subs) >= 1
+        # the central structure dominates the host
+        assert subs[0].n_members >= 0.2 * catalog.sizes[0]
+        # sub-halo membership is a partition of (a subset of) the host
+        all_members = np.concatenate([s.member_indices for s in subs])
+        assert len(np.unique(all_members)) == len(all_members)
+
+    def test_mass_function_vs_sheth_tormen(
+        self, benchmark, science_run, catalog
+    ):
+        cfg = science_run.config
+        mp = particle_mass(WMAP7.omega_m, cfg.box_size, cfg.n_particles)
+
+        def compute():
+            mf = measured_mass_function(catalog, mp, n_bins=5)
+            st = sheth_tormen(LinearPower(WMAP7), mf.mass)
+            return mf, st
+
+        mf, st = benchmark.pedantic(compute, rounds=1, iterations=1)
+        rows = [
+            [f"{m:.2e}", f"{dn:.2e}", f"{a:.2e}", c]
+            for m, dn, a, c in zip(mf.mass, mf.dn_dlnm, st, mf.counts)
+            if c > 0
+        ]
+        print_table(
+            "halo mass function: measured vs Sheth-Tormen",
+            ["mass", "dn/dlnM", "ST", "N"],
+            rows,
+        )
+        # order-of-magnitude agreement in the well-sampled bins (small
+        # box, FOF mass definition, ~10-particle halos: factors of a few
+        # are expected; the shape — decreasing with mass — must hold)
+        occupied = mf.counts > 2
+        assert occupied.any()
+        ratio = mf.dn_dlnm[occupied] / st[occupied]
+        assert np.all(ratio > 0.1)
+        assert np.all(ratio < 10.0)

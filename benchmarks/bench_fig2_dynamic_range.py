@@ -1,0 +1,78 @@
+"""Fig. 2 — zoom-in visualization / global spatial dynamic range.
+
+The figure zooms from the full box down to a halo-hosting sub-volume,
+illustrating a global dynamic range of ~1e6 (Gpc box / kpc force
+resolution).  At laptop scale the same construction is: nested zooms
+around the densest structure, with the realized density climbing at
+every level, plus the formal dynamic-range bookkeeping (box size over
+force resolution), which reaches the paper's 1e6 at production
+parameters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.density import zoom_series
+from repro.analysis.halos import fof_halos
+
+from conftest import print_table
+
+
+class TestFig2:
+    def test_zoom_ladder(self, benchmark, science_run):
+        cfg = science_run.config
+        pos = science_run.final_positions
+        cat = fof_halos(pos, cfg.box_size, b=0.2, min_members=8)
+        assert cat.n_halos > 0, "no halo to zoom into"
+        center = cat.centers[0]
+        sizes = [cfg.box_size, cfg.box_size / 4, cfg.box_size / 16]
+
+        levels = benchmark.pedantic(
+            lambda: zoom_series(pos, cfg.box_size, center, sizes, n=32),
+            rounds=1,
+            iterations=1,
+        )
+        rows = [
+            [f"{lv.size:6.2f}", lv.n_particles, f"{lv.max_over_mean:9.1f}"]
+            for lv in levels
+        ]
+        print_table(
+            "Fig. 2: zoom ladder around the most massive halo",
+            ["window [Mpc/h]", "particles", "peak/mean"],
+            rows,
+        )
+        # deeper zooms concentrate on denser material: mean density of
+        # the selected sub-volume rises at every level
+        densities = [
+            lv.n_particles / lv.size**3 for lv in levels
+        ]
+        assert densities[1] > densities[0]
+        assert densities[2] > densities[1]
+        # the innermost window still holds a resolved structure
+        assert levels[-1].n_particles > 20
+
+    def test_formal_dynamic_range_bookkeeping(self, benchmark):
+        """Production bookkeeping: (9.14 Gpc box) / (0.007 Mpc force
+        resolution) ~ 1.3e6 — 'the global spatial dynamic range covered
+        by the simulation, ~1e6'."""
+
+        def production():
+            box_mpc = 9140.0
+            force_resolution = 0.007  # Mpc, from Section V
+            return box_mpc / force_resolution
+
+        dr = benchmark(production)
+        print(f"\nproduction dynamic range: {dr:.2e}")
+        assert 1e6 < dr < 2e6
+
+    def test_zoom_volume_scaling(self, benchmark, science_run):
+        """A (7 Mpc)^3 sub-volume of the (9.14 Gpc)^3 box is a volume
+        fraction of ~4.5e-10 — the figure's nesting depth; at our scale
+        the same relative ladder applies."""
+        cfg = science_run.config
+
+        def fraction():
+            return (cfg.box_size / 16) ** 3 / cfg.box_size**3
+
+        frac = benchmark(fraction)
+        assert frac == pytest.approx(16**-3)

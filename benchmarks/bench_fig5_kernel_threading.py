@@ -1,0 +1,107 @@
+"""Fig. 5 — threading performance of the force-evaluation kernel.
+
+* **modeled**: percent-of-peak curves for all eight (ranks/node,
+  threads/rank) configurations over the Fig. 5 neighbor-list range, with
+  the paper's qualitative features asserted (80% plateau at 4
+  threads/core, ~3x gap to 1 thread/core, mild ranks-per-node penalty);
+* **measured**: this reproduction's vectorized NumPy kernel, timed per
+  interaction as a function of interaction-list size — the same
+  "efficiency grows with list size" shape, in interpreted-Python units.
+"""
+
+import numpy as np
+import pytest
+
+from repro.machine.kernel_model import FIG5_CONFIGS, ForceKernelModel
+from repro.shortrange.grid_force import default_grid_force_fit
+from repro.shortrange.kernel import ShortRangeKernel
+
+from conftest import print_table
+
+LIST_SIZES = np.array([64, 125, 250, 500, 1000, 2500, 5000], dtype=float)
+
+
+class TestFig5Model:
+    def test_all_configurations(self, benchmark):
+        model = ForceKernelModel()
+        curves = benchmark(lambda: model.fig5_curves(LIST_SIZES))
+
+        rows = []
+        for (r, t), vals in curves.items():
+            rows.append(
+                [f"{r}r x {t}t"] + [f"{v:.1f}" for v in vals]
+            )
+        print_table(
+            "Fig. 5: % of node peak vs neighbor-list size",
+            ["config"] + [str(int(n)) for n in LIST_SIZES],
+            rows,
+        )
+
+        # paper features:
+        four_per_core = curves[(16, 4)]
+        one_per_core = curves[(16, 1)]
+        # close to 80% of peak at 4 threads/core and large lists
+        assert 74 < four_per_core[-1] < 81
+        # broad plateau: half the peak value reached well before n=500
+        assert four_per_core[3] > 0.8 * four_per_core[-1]
+        # 1 thread/core sits ~3x lower (6-cycle latency, 2 streams)
+        assert one_per_core[-1] == pytest.approx(
+            four_per_core[-1] / 3.0, rel=0.05
+        )
+        # 2 ranks/node: exceptional but slightly below 16 ranks/node
+        assert curves[(2, 32)][-1] < four_per_core[-1]
+        assert curves[(2, 32)][-1] > 0.9 * four_per_core[-1]
+
+    def test_typical_run_band(self, benchmark):
+        """Representative simulations have lists of 500-2500 (Section
+        III); the model puts the 16/4 operating point at 65-78% there."""
+        model = ForceKernelModel()
+        band = benchmark(
+            lambda: 100 * model.peak_fraction(
+                np.array([500.0, 2500.0]), 16, 4
+            )
+        )
+        assert 60 < band[0] < band[1] < 80
+
+
+class TestMeasuredKernel:
+    @pytest.mark.parametrize("nlist", [64, 512, 2048])
+    def test_per_interaction_cost(self, benchmark, nlist):
+        """NumPy kernel time per interaction falls with list size (the
+        vectorization-efficiency shape of Fig. 5)."""
+        fit = default_grid_force_fit()
+        kernel = ShortRangeKernel(fit, spacing=1.0)
+        rng = np.random.default_rng(1)
+        targets = rng.uniform(0, 2.0, (64, 3))
+        sources = rng.uniform(0, 4.0, (nlist, 3))
+        masses = np.ones(nlist)
+        benchmark(lambda: kernel.accumulate(targets, sources, masses))
+
+    def test_efficiency_grows_with_list(self, benchmark):
+        """Directly verify the plateau shape on the real kernel."""
+        import time
+
+        fit = default_grid_force_fit()
+        kernel = ShortRangeKernel(fit, spacing=1.0)
+        rng = np.random.default_rng(2)
+        targets = rng.uniform(0, 2.0, (16, 3))
+
+        def measure() -> dict:
+            per_interaction = {}
+            for nlist in (8, 4096):
+                sources = rng.uniform(0, 4.0, (nlist, 3))
+                masses = np.ones(nlist)
+                kernel.accumulate(targets, sources, masses)  # warm up
+                t0 = time.perf_counter()
+                reps = 10
+                for _ in range(reps):
+                    kernel.accumulate(targets, sources, masses)
+                dt = time.perf_counter() - t0
+                per_interaction[nlist] = dt / (reps * 16 * nlist)
+            return per_interaction
+
+        per_interaction = benchmark.pedantic(measure, rounds=1, iterations=1)
+        print(f"\nmeasured ns/interaction: small list "
+              f"{per_interaction[8] * 1e9:.1f}, large list "
+              f"{per_interaction[4096] * 1e9:.1f}")
+        assert per_interaction[4096] < 0.5 * per_interaction[8]

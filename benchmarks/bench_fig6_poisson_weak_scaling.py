@@ -1,0 +1,100 @@
+"""Fig. 6 — weak scaling of the Poisson solver on three architectures.
+
+* **modeled**: time per step per particle vs ranks for Roadrunner
+  (slab-decomposed FFT), BG/P and BG/Q (pencil-decomposed), asserting the
+  paper's structure: near-ideal (1/R) scaling for all three, the BG/Q
+  lowest, and the slab decomposition's hard rank ceiling;
+* **measured**: the reproduction's own distributed Poisson solve across
+  growing simulated rank grids at fixed per-rank load.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fft import PencilFFT
+from repro.grid.poisson import SpectralPoissonSolver
+from repro.machine.architectures import ARCHITECTURES
+
+from conftest import print_table
+
+RANKS = [64, 256, 1024, 4096, 16384, 65536, 131072]
+PARTICLES_PER_RANK = 2.0e6
+
+
+class TestFig6Model:
+    def test_three_architecture_series(self, benchmark):
+        def compute():
+            out = {}
+            for key, arch in ARCHITECTURES.items():
+                model = arch.fft_model()
+                series = []
+                for r in RANKS:
+                    n = round((PARTICLES_PER_RANK * r) ** (1 / 3))
+                    if r > arch.rank_limit(n) or r > arch.max_ranks:
+                        series.append(None)  # beyond this machine's reach
+                        continue
+                    series.append(
+                        model.poisson_time_per_particle(r, PARTICLES_PER_RANK)
+                    )
+                out[key] = series
+            return out
+
+        series = benchmark(compute)
+
+        rows = []
+        for key, vals in series.items():
+            rows.append(
+                [ARCHITECTURES[key].name]
+                + [
+                    f"{v * 1e9:.3f}" if v is not None else "--"
+                    for v in vals
+                ]
+            )
+        print_table(
+            "Fig. 6: Poisson-solver time per step per particle [ns]",
+            ["architecture"] + [str(r) for r in RANKS],
+            rows,
+        )
+
+        bgq, bgp, rr = series["bgq"], series["bgp"], series["roadrunner"]
+        # BG/Q fastest wherever machines overlap
+        for a, b in zip(bgq, bgp):
+            if a is not None and b is not None:
+                assert a < b
+        # near-ideal scaling: time/particle falls ~1/R.  The model keeps
+        # the slow torus-extent creep seen in Table I's weak block, so
+        # allow up to ~5x above the pure 1/R line at the far end of the
+        # 2048x rank range.
+        ideal = bgq[0] * RANKS[0] / np.array(RANKS[: len(bgq)])
+        for v, i in zip(bgq, ideal):
+            assert i <= v < 5.0 * i
+        # slab ceiling: Roadrunner cannot reach the largest configurations
+        assert rr[-1] is None
+
+    def test_slab_ceiling_is_structural(self, benchmark):
+        """Nrank < N for slab vs Nrank < N^2 for pencil (Section IV.A)."""
+        arch = ARCHITECTURES["roadrunner"]
+        limit = benchmark(lambda: arch.rank_limit(1024))
+        assert limit == 1024
+        assert ARCHITECTURES["bgq"].rank_limit(1024) == 1024**2
+
+
+class TestMeasuredDistributedPoisson:
+    @pytest.mark.parametrize("grid", [(1, 1), (2, 2), (4, 4)])
+    def test_force_solve(self, benchmark, grid):
+        """Real distributed Poisson force solve over simulated ranks.
+
+        Fixed per-rank load is impossible in-process (all ranks share one
+        CPU), so this times the fixed-size solve at increasing rank
+        counts — communication volume grows while math stays constant."""
+        pr, pc = grid
+        n = 16
+        solver = SpectralPoissonSolver(n, 32.0)
+        rng = np.random.default_rng(0)
+        delta = rng.standard_normal((n, n, n))
+        delta -= delta.mean()
+        pencil = PencilFFT(n, pr, pc)
+        result = benchmark(
+            lambda: solver.force_grids_distributed(delta, pencil)
+        )
+        assert len(result) == 3

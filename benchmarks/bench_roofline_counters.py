@@ -1,0 +1,78 @@
+"""Section IV.B — node performance counters of the 96-rack run.
+
+The paper prints a remarkable set of hardware-counter numbers for the
+full 1,572,864-core run.  This bench regenerates every one of them from
+the instruction-mix/roofline model (which contains no fitted constants —
+only the counter inputs and BQC issue rules) and asserts the paper's
+derived values:
+
+* max throughput 100/56.10 = 1.783 instructions/cycle;
+* completed 1.508 IPC = 85% of the issue ceiling;
+* 142.32 GFlops/node = 69.5% of the 204.8 peak;
+* memory traffic 0.344 of 18 B/cycle — a 52x headroom that places HACC
+  deep in the compute-bound regime ("very high rate of data reuse").
+"""
+
+import pytest
+
+from repro.machine.roofline import InstructionMixModel
+
+from conftest import print_table
+
+
+class TestSectionIVBCounters:
+    def test_counter_table(self, benchmark):
+        model = InstructionMixModel()
+        s = benchmark(model.summary)
+        rows = [
+            ["FPU instruction fraction", "56.10%", f"{100 * s['fpu_fraction']:.2f}%"],
+            ["max instructions/cycle", "1.783", f"{s['max_ipc']:.3f}"],
+            ["completed instructions/cycle", "1.508", f"{s['measured_ipc']:.3f}"],
+            ["issue-rate efficiency", "85%", f"{100 * s['issue_efficiency']:.1f}%"],
+            ["L1 hit rate", "99.62%", f"{100 * s['l1_hit_rate']:.2f}%"],
+            ["memory bandwidth headroom", "~52x", f"{s['bandwidth_headroom']:.1f}x"],
+        ]
+        print_table(
+            "Section IV.B node counters (paper | model)",
+            ["counter", "paper", "model"],
+            rows,
+        )
+        assert s["max_ipc"] == pytest.approx(1.783, abs=0.001)
+        assert s["issue_efficiency"] == pytest.approx(0.85, abs=0.01)
+        assert s["bandwidth_headroom"] == pytest.approx(52.3, abs=0.1)
+
+    def test_gflops_consistency(self, benchmark):
+        """The three counter families (instruction rate, flop counters,
+        peak fraction) are mutually consistent."""
+        model = InstructionMixModel()
+
+        def derive():
+            f = model.implied_flops_per_fpu_instruction(142.32)
+            return f, model.sustained_node_gflops(f)
+
+        f, gflops = benchmark(derive)
+        print(f"\nimplied flops per FPU instruction: {f:.2f} "
+              "(QPX FMA = 8, non-FMA = 4; kernel mix 16-of-26 FMA)")
+        assert 4.0 < f < 8.0
+        assert gflops == pytest.approx(142.32, rel=1e-12)
+        assert gflops * 1e9 / model.node.flops_per_node_peak == pytest.approx(
+            0.695, abs=0.001
+        )
+
+    def test_compute_bound_placement(self, benchmark):
+        model = InstructionMixModel()
+        point = benchmark(model.roofline)
+        print(f"\narithmetic intensity: {point.arithmetic_intensity:.0f} "
+              f"flops/byte; memory-bound: {point.memory_bound}")
+        assert not point.memory_bound
+        assert point.arithmetic_intensity > 100
+
+    def test_byte_per_flop_future_argument(self, benchmark):
+        """Section IV.C: 'the (memory) byte/flop ratio could easily
+        evolve to being worse by a factor of 10' — even then HACC's
+        measured intensity keeps it compute bound."""
+        degraded = InstructionMixModel(
+            memory_peak_bytes_per_cycle=1.8  # 10x worse byte/flop machine
+        )
+        point = benchmark(degraded.roofline)
+        assert not point.memory_bound

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Dark-energy model signatures — the paper's science program in miniature.
+
+"With HACC, we aim to systematically study dark energy model space at
+extreme scales and ... deliver quantitative predictions of unprecedented
+accuracy" (Section V).  This example compares a LambdaCDM model against
+an evolving dark-energy model (CPL w0 = -0.9, wa = 0.2) through the full
+prediction chain:
+
+1. expansion and linear growth histories;
+2. linear and HALOFIT nonlinear power spectra;
+3. actual N-body runs of both cosmologies from identical white noise,
+   showing the growth difference emerge dynamically;
+4. the weak-lensing convergence spectrum each model predicts.
+
+Run:  python examples/dark_energy_signatures.py [n_per_dim]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro import HACCSimulation, SimulationConfig
+from repro.analysis import convergence_power, matter_power_spectrum
+from repro.cosmology import WCDM_EXAMPLE, WMAP7, HalofitPower, LinearPower
+
+LCDM, WCDM = WMAP7, WCDM_EXAMPLE
+
+
+def growth_comparison() -> None:
+    print("=== expansion and growth histories ===")
+    print("   z     E(a) LCDM  E(a) wCDM   D LCDM   D wCDM")
+    for z in (2.0, 1.0, 0.5, 0.0):
+        a = 1.0 / (1.0 + z)
+        print(f"   {z:3.1f}  {float(LCDM.efunc(a)):9.3f}  "
+              f"{float(WCDM.efunc(a)):9.3f}  {LCDM.growth_factor(a):7.3f}  "
+              f"{WCDM.growth_factor(a):7.3f}")
+    d_ratio = WCDM.growth_factor(0.5) / LCDM.growth_factor(0.5)
+    print(f"growth-history difference at z=1: {100 * (d_ratio - 1):.2f}% "
+          "(the kind of signature surveys must resolve)")
+
+
+def power_comparison() -> None:
+    print("\n=== linear and nonlinear P(k) ratios (wCDM / LCDM, z=0.5) ===")
+    lin_l, lin_w = LinearPower(LCDM), LinearPower(WCDM)
+    nl_l, nl_w = HalofitPower(lin_l), HalofitPower(lin_w)
+    k = np.array([0.05, 0.2, 0.5, 1.0, 2.0])
+    a = 1.0 / 1.5
+    lin_ratio = lin_w(k, a) / lin_l(k, a)
+    nl_ratio = nl_w(k, a) / nl_l(k, a)
+    print("   k [h/Mpc]   linear   HALOFIT")
+    for kk, lr, nr in zip(k, lin_ratio, nl_ratio):
+        print(f"   {kk:8.2f}  {lr:7.3f}  {nr:7.3f}")
+    print("   (nonlinear collapse amplifies the dark-energy signal at high k)")
+
+
+def simulation_comparison(n: int) -> None:
+    print(f"\n=== dynamical check: {n}^3-particle runs of both models ===")
+    results = {}
+    for name, cosmo in (("LCDM", LCDM), ("wCDM", WCDM)):
+        cfg = SimulationConfig(
+            box_size=150.0,
+            n_per_dim=n,
+            z_initial=25.0,
+            z_final=0.5,
+            n_steps=12,
+            backend="pm",          # growth test: PM captures it
+            step_spacing="loga",
+            seed=314,              # identical white noise for both
+            cosmology=cosmo,
+        )
+        t0 = time.perf_counter()
+        sim = HACCSimulation(cfg)
+        sim.run()
+        ps = matter_power_spectrum(
+            sim.particles.positions, cfg.box_size, cfg.grid(),
+            subtract_shot_noise=False,
+        )
+        results[name] = ps
+        print(f"   {name}: evolved to z={sim.redshift:.1f} in "
+              f"{time.perf_counter() - t0:.1f} s")
+
+    measured = np.mean(results["wCDM"].power[:4] / results["LCDM"].power[:4])
+    a = 1 / 1.5
+    # identical seeds cancel cosmic variance; both models share the z=0
+    # sigma8 normalization, so the low-k ratio reduces to the growth
+    # ratio squared (up to stepping and mild nonlinearity)
+    expected = (WCDM.growth_factor(a) / LCDM.growth_factor(a)) ** 2
+    print(f"   measured wCDM/LCDM low-k power ratio: {measured:.4f}")
+    print(f"   linear-theory expectation:            {expected:.4f}")
+
+
+def lensing_comparison() -> None:
+    print("\n=== weak-lensing convergence spectra (z_source = 1) ===")
+    ells = np.array([100.0, 500.0, 2000.0])
+    c_l = convergence_power(HalofitPower(LinearPower(LCDM)), ells)
+    c_w = convergence_power(HalofitPower(LinearPower(WCDM)), ells)
+    print("   ell    l(l+1)C/2pi LCDM    wCDM     ratio")
+    for l, a, b in zip(ells, c_l, c_w):
+        band_a = l * (l + 1) * a / (2 * np.pi)
+        band_b = l * (l + 1) * b / (2 * np.pi)
+        print(f"   {l:6.0f}  {band_a:.3e}  {band_b:.3e}  {b / a:.3f}")
+    print("   (percent-level shifts over decades of ell: the Section I "
+          "accuracy requirement)")
+
+
+if __name__ == "__main__":
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 20
+    growth_comparison()
+    power_comparison()
+    simulation_comparison(n)
+    lensing_comparison()

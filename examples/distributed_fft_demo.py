@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""The pencil-decomposed FFT and particle overloading at work.
+
+Demonstrates HACC's parallel substrate over the in-process rank VM:
+
+1. a 2-D pencil-decomposed 3-D FFT across a 4x2 rank grid, verified
+   against the single-process transform, with per-phase traffic;
+2. the slab decomposition's Nrank < N ceiling (why the pencil FFT was
+   written — Section IV.A);
+3. the distributed Poisson solve matching the single-process solver;
+4. particle overloading: active/passive roles, replica memory overhead
+   (the paper's ~10% estimate) and a refresh after movement.
+
+Run:  python examples/distributed_fft_demo.py
+"""
+
+import numpy as np
+
+from repro.cosmology import WMAP7, make_initial_conditions
+from repro.fft import PencilFFT, SlabFFT
+from repro.grid.poisson import SpectralPoissonSolver
+from repro.parallel import DomainDecomposition, OverloadExchange
+
+
+def pencil_demo() -> None:
+    n, pr, pc = 16, 4, 2
+    print(f"--- pencil FFT: {n}^3 grid over a {pr}x{pc} rank grid ---")
+    rng = np.random.default_rng(0)
+    field = rng.standard_normal((n, n, n))
+
+    fft = PencilFFT(n, pr, pc)
+    spectra = fft.forward(fft.scatter(field))
+    err = np.abs(
+        fft.gather(spectra, "x-pencil") - np.fft.fftn(field)
+    ).max()
+    print(f"max deviation from numpy.fft.fftn: {err:.2e}")
+    stats = fft.comm.stats
+    print(f"transpose traffic: {stats.messages} messages, "
+          f"{stats.bytes / 1024:.1f} KiB")
+    for tag, (msgs, nbytes) in sorted(stats.by_tag.items()):
+        print(f"   {tag:18s}: {msgs:3d} msgs, {nbytes / 1024:8.1f} KiB")
+    print(f"analytic volume: {fft.transpose_bytes_per_rank() * fft.size / 1024:.1f}"
+          " KiB  (matches)")
+
+    print("\nslab ceiling: a 16^3 FFT supports at most 16 slab ranks;")
+    try:
+        SlabFFT(16, 32)
+    except ValueError as exc:
+        print(f"   SlabFFT(16, 32) -> ValueError: {exc}")
+    print(f"   PencilFFT allows up to N^2 = {16**2} ranks.")
+
+
+def poisson_demo() -> None:
+    print("\n--- distributed Poisson solve ---")
+    n, box = 16, 32.0
+    rng = np.random.default_rng(1)
+    delta = rng.standard_normal((n, n, n))
+    delta -= delta.mean()
+    solver = SpectralPoissonSolver(n, box)
+    local = solver.force_grids(delta)
+    fft = PencilFFT(n, 2, 2)
+    dist = solver.force_grids_distributed(delta, fft)
+    err = max(np.abs(a - b).max() for a, b in zip(local, dist))
+    print(f"distributed vs single-process force grids: max |diff| = {err:.2e}")
+
+
+def overload_demo() -> None:
+    print("\n--- particle overloading (Fig. 4) ---")
+    box = 100.0
+    ics = make_initial_conditions(
+        WMAP7, n_per_dim=16, box_size=box, z_init=25.0, seed=4
+    )
+    decomp = DomainDecomposition(box, (2, 2, 2))
+    depth = 5.0
+    exchange = OverloadExchange(decomp, depth)
+    domains = exchange.distribute(ics.positions, ics.momenta)
+
+    total_active = sum(d.n_active for d in domains)
+    total_passive = sum(d.n_passive for d in domains)
+    factor = decomp.overload_volume_factor(depth)
+    print(f"{decomp.n_ranks} ranks, overload depth {depth} Mpc/h")
+    print(f"active copies : {total_active} (= every particle exactly once)")
+    print(f"passive copies: {total_passive} "
+          f"({100 * total_passive / total_active:.1f}% memory overhead; "
+          f"geometric expectation {100 * (factor - 1):.1f}%)")
+
+    # move everything and refresh — roles switch, nothing is lost
+    for dom in domains:
+        dom.positions += 3.0
+    refreshed = exchange.refresh(domains)
+    ids = np.concatenate([d.ids[d.active] for d in refreshed])
+    print(f"after drift + refresh: {len(np.unique(ids))} unique active ids "
+          f"(conserved), refresh traffic "
+          f"{exchange.comm.stats.tag_bytes('overload.refresh') / 1024:.1f} KiB")
+
+
+if __name__ == "__main__":
+    pencil_demo()
+    poisson_demo()
+    overload_demo()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Why N-body?  Solving the governing equation directly (in 1+1D).
+
+Eq. (1)-(2) of the paper — the Vlasov-Poisson system — is "very
+difficult to solve directly because of its high dimensionality", which is
+the entire reason tracer-particle codes like HACC exist.  This example
+makes the argument concrete:
+
+1. integrates the 1+1D problem directly on a phase-space grid;
+2. integrates the same problem with the exact 1-D N-body (sheet model);
+3. shows the two agree through collapse;
+4. extrapolates the direct method's cost to 3+3 dimensions;
+5. renders the phase-space spiral as a PPM image — shell crossing and
+   multistreaming, "the development of structure on ever finer scales".
+
+Run:  python examples/vlasov_validation.py
+"""
+
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.render import render_density, write_ppm
+from repro.vlasov import SheetModel, VlasovPoisson1D
+
+
+def main() -> None:
+    amp, box = 0.05, 1.0
+    vp = VlasovPoisson1D(128, 256, box, v_max=0.8)
+    vp.set_cold_perturbation(amp)
+    sm = SheetModel.cold_perturbation(4000, box, amp)
+
+    print("=== linear growth: delta(t)/delta(0) vs cosh(t) ===")
+    print("    t    Vlasov   N-body   cosh(t)")
+    a0_v, a0_s = vp.mode_amplitude(), sm.mode_amplitude()
+    for t in (0.5, 1.0, 1.5, 2.0):
+        vp.run(t, 0.02)
+        sm.run(t, 0.02)
+        print(f"  {t:4.1f}  {vp.mode_amplitude() / a0_v:7.2f}  "
+              f"{sm.mode_amplitude() / a0_s:7.2f}  {np.cosh(t):7.2f}")
+    print("  (cosh growth holds until collapse goes nonlinear at t ~ 2)")
+
+    dv = vp.density_contrast()
+    ds = sm.density_contrast(128)
+    err = np.abs(dv - ds).max() / np.abs(ds).max()
+    print(f"\ndensity-profile agreement of the two methods at t=2.0: "
+          f"{100 * (1 - err):.0f}%")
+
+    # push through shell crossing (at amp cosh(t) ~ 1, i.e. t ~ 3.7)
+    vp.run(4.3, 0.02)
+    sm.run(4.3, 0.02)
+    dv = vp.density_contrast()
+    print(f"peak overdensity at t=4.3: {dv.max():.1f} "
+          "(collapse complete)")
+
+    # multistreaming: after shell crossing a cold (zero-dispersion) flow
+    # develops several velocity branches at the same position — measure
+    # it in the sheet model as the velocity spread inside the peak cell
+    peak_cell = int(np.argmax(dv))
+    x_lo = peak_cell / vp.nx
+    in_cell = (sm.x >= x_lo) & (sm.x < x_lo + 4.0 / vp.nx)
+    spread = sm.v[in_cell].max() - sm.v[in_cell].min() if in_cell.any() else 0
+    print(f"velocity spread through the density peak: {spread:.3f} "
+          "(was 0 in the cold ICs: multistreaming after shell crossing — "
+          "Section I's 'complex multistreaming on ever finer scales')")
+
+    out = Path(__file__).resolve().parent / "phase_space.ppm"
+    img = render_density(vp.f.T[::-1], cmap="heat", floor=1e-4)
+    write_ppm(out, img)
+    print(f"phase-space portrait written to {out}")
+
+    print("\n=== the dimensionality wall ===")
+    for d, label in ((2, "1+1D (this demo)"), (4, "2+2D"), (6, "3+3D")):
+        cells = 128**d
+        print(f"  {label:18s}: {cells:.2e} cells at 128/axis")
+    survey = 1e4**6
+    print(f"  3+3D at the paper's 1e4+ dynamic range: {survey:.0e} cells "
+          f"-> impossible; 3.6e12 tracer particles: feasible (the paper)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,176 @@
+"""Density fields, projections and zoom series.
+
+The quantitative backbone of the paper's visualizations: Fig. 2's nested
+zoom into the density field (demonstrating the ~1e6 global spatial
+dynamic range), and Fig. 9's redshift frames showing the density contrast
+growing by five orders of magnitude.  We reproduce the *numbers* behind
+those images — projected density maps, per-frame contrast statistics, and
+the dynamic-range ladder of a zoom sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.grid.cic import cic_deposit
+
+__all__ = [
+    "density_projection",
+    "density_contrast_statistics",
+    "zoom_series",
+    "ZoomLevel",
+]
+
+
+def density_projection(
+    positions: np.ndarray,
+    box_size: float,
+    n: int,
+    *,
+    axis: int = 2,
+    depth: tuple[float, float] | None = None,
+    weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """Projected surface density contrast on an ``n x n`` map.
+
+    Parameters
+    ----------
+    positions:
+        (N, 3) positions.
+    box_size:
+        Periodic box side.
+    n:
+        Map resolution per side.
+    axis:
+        Projection axis (0, 1 or 2).
+    depth:
+        Optional (lo, hi) slab along the projection axis; default is the
+        whole box (Fig. 9 frames use a thin slice).
+    weights:
+        Optional particle masses.
+
+    Returns
+    -------
+    (n, n) array of ``Sigma / <Sigma>`` (mean-normalized projected
+    density; 1 for a uniform distribution).
+    """
+    if axis not in (0, 1, 2):
+        raise ValueError(f"axis must be 0, 1 or 2: {axis}")
+    pos = np.mod(np.asarray(positions, dtype=np.float64), box_size)
+    w = (
+        np.ones(pos.shape[0])
+        if weights is None
+        else np.asarray(weights, dtype=np.float64)
+    )
+    if depth is not None:
+        lo, hi = depth
+        if not 0 <= lo < hi <= box_size:
+            raise ValueError(f"bad slab range {depth} for box {box_size}")
+        sel = (pos[:, axis] >= lo) & (pos[:, axis] < hi)
+        pos, w = pos[sel], w[sel]
+    if pos.shape[0] == 0:
+        return np.zeros((n, n))
+    keep = [i for i in range(3) if i != axis]
+    uv = pos[:, keep]
+    ij = np.minimum((uv / box_size * n).astype(np.int64), n - 1)
+    flat = ij[:, 0] * n + ij[:, 1]
+    grid = np.bincount(flat, weights=w, minlength=n * n).reshape(n, n)
+    mean = grid.mean()
+    return grid / mean if mean > 0 else grid
+
+
+@dataclass(frozen=True)
+class ContrastStats:
+    """Summary statistics of a 3-D density-contrast field."""
+
+    max_contrast: float
+    min_contrast: float
+    variance: float
+    fraction_empty: float
+
+
+def density_contrast_statistics(
+    positions: np.ndarray,
+    box_size: float,
+    n: int,
+    weights: np.ndarray | None = None,
+) -> ContrastStats:
+    """Contrast statistics of the CIC density field.
+
+    Fig. 9's caption notes the local density contrast grows by five
+    orders of magnitude during the evolution; the bench tracks
+    ``max_contrast`` and ``variance`` across redshift frames.
+    """
+    counts = cic_deposit(positions, n, box_size, weights)
+    mean = counts.mean()
+    if mean <= 0:
+        raise ValueError("empty particle distribution")
+    delta = counts / mean - 1.0
+    return ContrastStats(
+        max_contrast=float(delta.max()),
+        min_contrast=float(delta.min()),
+        variance=float(delta.var()),
+        fraction_empty=float(np.mean(counts == 0)),
+    )
+
+
+@dataclass(frozen=True)
+class ZoomLevel:
+    """One level of a Fig. 2-style zoom sequence."""
+
+    size: float
+    n_particles: int
+    map: np.ndarray
+    max_over_mean: float
+
+
+def zoom_series(
+    positions: np.ndarray,
+    box_size: float,
+    center: np.ndarray,
+    sizes: list[float],
+    n: int = 64,
+    weights: np.ndarray | None = None,
+) -> list[ZoomLevel]:
+    """Nested zoom maps around ``center`` (Fig. 2).
+
+    Each level selects the particles in a periodic cube of the given side
+    length and produces a projected density map plus its peak-to-mean
+    ratio; the ratio of outermost to innermost ``size`` is the realized
+    spatial dynamic range of the sequence.
+    """
+    pos = np.mod(np.asarray(positions, dtype=np.float64), box_size)
+    c = np.asarray(center, dtype=np.float64)
+    w = (
+        np.ones(pos.shape[0])
+        if weights is None
+        else np.asarray(weights, dtype=np.float64)
+    )
+    levels = []
+    for size in sizes:
+        if not 0 < size <= box_size:
+            raise ValueError(f"zoom size {size} out of range for box {box_size}")
+        d = pos - c
+        d -= box_size * np.round(d / box_size)
+        sel = np.all(np.abs(d) <= size / 2.0, axis=1)
+        sub = d[sel] + size / 2.0
+        if sub.shape[0]:
+            ij = np.minimum((sub[:, :2] / size * n).astype(np.int64), n - 1)
+            flat = ij[:, 0] * n + ij[:, 1]
+            grid = np.bincount(
+                flat, weights=w[sel], minlength=n * n
+            ).reshape(n, n)
+        else:
+            grid = np.zeros((n, n))
+        mean = grid.mean()
+        levels.append(
+            ZoomLevel(
+                size=float(size),
+                n_particles=int(sub.shape[0]),
+                map=grid / mean if mean > 0 else grid,
+                max_over_mean=float(grid.max() / mean) if mean > 0 else 0.0,
+            )
+        )
+    return levels

@@ -1,0 +1,147 @@
+"""Weak gravitational lensing: Limber convergence power spectra.
+
+Section I of the paper sets the accuracy target — "certain quantities
+such as lensing shear power spectra must be computed at accuracies of a
+fraction of a percent" — and Section V lists "weak gravitational lensing
+measurements to map the distribution of dark matter" among the probes the
+simulations serve.  This module provides the standard flat-sky Limber
+projection that converts a 3-D matter power spectrum (linear, HALOFIT, or
+a table measured from a simulation) into the convergence power spectrum
+observed by a survey:
+
+.. math::
+
+    C_\\ell^{\\kappa\\kappa} = \\int_0^{\\chi_s} d\\chi\\,
+        \\frac{W^2(\\chi)}{\\chi^2} P\\!\\left(k = \\frac{\\ell + 1/2}{\\chi},
+        z(\\chi)\\right),
+
+with the lensing efficiency for a single source plane at comoving
+distance ``chi_s``
+
+.. math::
+
+    W(\\chi) = \\frac{3}{2} \\Omega_m H_0^2 (1 + z)\\, \\chi
+              \\left(1 - \\frac{\\chi}{\\chi_s}\\right).
+
+Units: with distances in Mpc/h and ``H0 = 100 h`` km/s/Mpc,
+``H0/c = 1/2997.92 (Mpc/h)^{-1}``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.integrate import quad
+from scipy.interpolate import interp1d
+
+from repro.constants import SPEED_OF_LIGHT_KM_S
+from repro.cosmology.background import Cosmology
+
+__all__ = ["convergence_power", "lensing_efficiency"]
+
+#: Hubble distance c/H0 in Mpc/h
+_D_H = SPEED_OF_LIGHT_KM_S / 100.0
+
+
+def lensing_efficiency(
+    cosmology: Cosmology, chi: float, chi_source: float
+) -> float:
+    """Single-source-plane lensing weight W(chi), (Mpc/h)^-1 units.
+
+    ``W = (3/2) Omega_m (H0/c)^2 (1+z) chi (1 - chi/chi_s)``.
+    """
+    if not 0 <= chi <= chi_source:
+        return 0.0
+    z = _z_of_chi(cosmology, chi)
+    return (
+        1.5
+        * cosmology.omega_m
+        / _D_H**2
+        * (1.0 + z)
+        * chi
+        * (1.0 - chi / chi_source)
+    )
+
+
+def _z_of_chi(cosmology: Cosmology, chi: float) -> float:
+    """Invert the comoving distance (cached tabulation per cosmology)."""
+    cache = getattr(cosmology, "_z_of_chi_cache", None)
+    if cache is None:
+        z_grid = np.concatenate(
+            [np.linspace(0.0, 3.0, 61), np.linspace(3.2, 20.0, 40)]
+        )
+        chi_grid = np.array(
+            [cosmology.comoving_distance(z) for z in z_grid]
+        )
+        cache = interp1d(
+            chi_grid, z_grid, kind="cubic", bounds_error=True
+        )
+        object.__setattr__(cosmology, "_z_of_chi_cache", cache)
+    return float(cache(chi))
+
+
+def convergence_power(
+    power,
+    ells,
+    *,
+    z_source: float = 1.0,
+    n_chi: int = 64,
+) -> np.ndarray:
+    """Limber convergence power spectrum C_ell for a single source plane.
+
+    Parameters
+    ----------
+    power:
+        Callable ``P(k, a)`` in (Mpc/h)^3 — linear, HALOFIT, or an
+        interpolated simulation measurement.  Must expose a
+        ``cosmology`` attribute.
+    ells:
+        Multipoles (scalar or array).
+    z_source:
+        Source-plane redshift.
+    n_chi:
+        Gauss-Legendre nodes for the line-of-sight integral.
+
+    Returns
+    -------
+    Dimensionless C_ell (same shape as ``ells``).
+
+    Notes
+    -----
+    The integral uses fixed Gauss-Legendre nodes so a whole C_ell curve
+    costs ``n_chi`` power-spectrum evaluations per multipole; accuracy is
+    ~0.1% for smooth spectra at ``n_chi = 64`` (the convergence test
+    doubles the node count and compares).
+    """
+    cosmology: Cosmology = power.cosmology
+    if z_source <= 0:
+        raise ValueError(f"z_source must be positive: {z_source}")
+    ells_arr = np.atleast_1d(np.asarray(ells, dtype=np.float64))
+    if np.any(ells_arr <= 0):
+        raise ValueError("multipoles must be positive")
+
+    chi_s = cosmology.comoving_distance(z_source)
+    nodes, weights = np.polynomial.legendre.leggauss(n_chi)
+    chi = 0.5 * chi_s * (nodes + 1.0)
+    w_quad = 0.5 * chi_s * weights
+
+    z_at = np.array([_z_of_chi(cosmology, c) for c in chi])
+    a_at = 1.0 / (1.0 + z_at)
+    w_lens = np.array(
+        [
+            lensing_efficiency(cosmology, c, chi_s)
+            for c in chi
+        ]
+    )
+
+    out = np.empty_like(ells_arr)
+    for i, ell in enumerate(ells_arr):
+        k = (ell + 0.5) / chi
+        p_vals = np.array(
+            [float(np.atleast_1d(power(np.array([kk]), aa))[0])
+             for kk, aa in zip(k, a_at)]
+        )
+        integrand = w_lens**2 / chi**2 * p_vals
+        out[i] = float(np.sum(w_quad * integrand))
+    return out if np.ndim(ells) else float(out[0])

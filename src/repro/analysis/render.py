@@ -1,0 +1,139 @@
+"""Density-field rendering: the data path behind Figs. 2 and 9.
+
+The paper's visualizations (by co-author Insley's team) render log-scaled
+density projections.  This module provides that path with zero plotting
+dependencies: log-stretch normalization, a small set of built-in
+colormaps, and a binary PPM (P6) writer — a format simple enough to
+implement exactly and test byte-for-byte.
+
+Typical use::
+
+    img = render_density(density_projection(pos, box, 512))
+    write_ppm("frame_z0.ppm", img)
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["log_stretch", "apply_colormap", "render_density", "write_ppm", "read_ppm", "COLORMAPS"]
+
+# Each colormap is a list of (position, (r, g, b)) control points in
+# [0, 1]; rendering interpolates linearly between them.
+COLORMAPS: dict[str, list[tuple[float, tuple[int, int, int]]]] = {
+    # black -> deep blue -> magenta -> orange -> white: the classic
+    # dark-matter visualization ramp
+    "cosmic": [
+        (0.00, (0, 0, 0)),
+        (0.25, (20, 20, 90)),
+        (0.55, (140, 40, 130)),
+        (0.80, (240, 140, 50)),
+        (1.00, (255, 255, 255)),
+    ],
+    "gray": [
+        (0.0, (0, 0, 0)),
+        (1.0, (255, 255, 255)),
+    ],
+    "heat": [
+        (0.0, (0, 0, 0)),
+        (0.4, (160, 0, 0)),
+        (0.75, (255, 160, 0)),
+        (1.0, (255, 255, 220)),
+    ],
+}
+
+
+def log_stretch(
+    field: np.ndarray,
+    *,
+    floor: float = 1e-2,
+    vmax: float | None = None,
+) -> np.ndarray:
+    """Map a non-negative density field to [0, 1] with a log stretch.
+
+    The density contrast spans orders of magnitude (Fig. 9's five
+    decades); linear scaling shows nothing, so visualizations use
+    ``log(max(field, floor))`` normalized between the floor and the
+    field maximum (or ``vmax``, to lock a ladder of frames to one scale).
+    """
+    f = np.asarray(field, dtype=np.float64)
+    if np.any(f < 0):
+        raise ValueError("density fields must be non-negative")
+    if floor <= 0:
+        raise ValueError(f"floor must be positive: {floor}")
+    top = float(f.max()) if vmax is None else float(vmax)
+    if top <= floor:
+        return np.zeros_like(f)
+    lo, hi = np.log(floor), np.log(top)
+    out = (np.log(np.maximum(f, floor)) - lo) / (hi - lo)
+    return np.clip(out, 0.0, 1.0)
+
+
+def apply_colormap(normalized: np.ndarray, cmap: str = "cosmic") -> np.ndarray:
+    """Map a [0, 1] field to uint8 RGB via a built-in colormap."""
+    if cmap not in COLORMAPS:
+        raise ValueError(
+            f"unknown colormap {cmap!r}; available: {sorted(COLORMAPS)}"
+        )
+    x = np.asarray(normalized, dtype=np.float64)
+    if np.any(x < 0) or np.any(x > 1):
+        raise ValueError("normalized field must lie in [0, 1]")
+    stops = COLORMAPS[cmap]
+    positions = np.array([s[0] for s in stops])
+    colors = np.array([s[1] for s in stops], dtype=np.float64)
+    rgb = np.empty(x.shape + (3,), dtype=np.float64)
+    for c in range(3):
+        rgb[..., c] = np.interp(x, positions, colors[:, c])
+    return np.round(rgb).astype(np.uint8)
+
+
+def render_density(
+    projection: np.ndarray,
+    *,
+    cmap: str = "cosmic",
+    floor: float = 1e-2,
+    vmax: float | None = None,
+) -> np.ndarray:
+    """Projection -> uint8 RGB image (log stretch + colormap)."""
+    return apply_colormap(
+        log_stretch(projection, floor=floor, vmax=vmax), cmap
+    )
+
+
+def write_ppm(path: str | Path, image: np.ndarray) -> Path:
+    """Write an (H, W, 3) uint8 array as a binary PPM (P6)."""
+    img = np.asarray(image)
+    if img.ndim != 3 or img.shape[2] != 3 or img.dtype != np.uint8:
+        raise ValueError(
+            f"image must be (H, W, 3) uint8, got {img.shape} {img.dtype}"
+        )
+    p = Path(path)
+    if p.suffix != ".ppm":
+        p = p.with_name(p.name + ".ppm")
+    h, w, _ = img.shape
+    header = f"P6\n{w} {h}\n255\n".encode("ascii")
+    p.write_bytes(header + img.tobytes())
+    return p
+
+
+def read_ppm(path: str | Path) -> np.ndarray:
+    """Read a binary PPM (P6) written by :func:`write_ppm`."""
+    raw = Path(path).read_bytes()
+    if not raw.startswith(b"P6"):
+        raise ValueError("not a binary PPM (P6) file")
+    # header: magic, width, height, maxval — whitespace separated
+    parts = raw.split(b"\n", 3)
+    if len(parts) < 4:
+        raise ValueError("truncated PPM header")
+    dims = parts[1].split()
+    w, h = int(dims[0]), int(dims[1])
+    maxval = int(parts[2])
+    if maxval != 255:
+        raise ValueError(f"only maxval 255 supported, got {maxval}")
+    data = parts[3]
+    expected = w * h * 3
+    if len(data) < expected:
+        raise ValueError("truncated PPM payload")
+    return np.frombuffer(data[:expected], dtype=np.uint8).reshape(h, w, 3)

@@ -1,0 +1,127 @@
+"""Sub-halo identification within FOF host halos.
+
+Fig. 11 of the paper shows a ~1e15 Msun cluster halo decomposed into
+sub-halos ("each sub-halo is shown in a different color ... each sub-halo,
+depending on its mass, can host one or more galaxies").  This module
+reproduces that decomposition with hierarchical FOF: members of a host
+halo are re-percolated at a shorter linking length, which isolates the
+dense self-bound clumps orbiting inside the host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.sparse import coo_matrix
+from scipy.sparse.csgraph import connected_components
+from scipy.spatial import cKDTree
+
+from repro.analysis.halos import FOFCatalog
+
+__all__ = ["Subhalo", "find_subhalos"]
+
+
+@dataclass(frozen=True)
+class Subhalo:
+    """One sub-structure of a host halo.
+
+    ``member_indices`` are indices into the *global* particle arrays, so
+    positions/velocities of the sub-halo can be pulled directly — that is
+    what the Fig. 11 bench does to report sub-halo statistics.
+    """
+
+    host: int
+    member_indices: np.ndarray
+    center: np.ndarray
+    mean_velocity: np.ndarray
+
+    @property
+    def n_members(self) -> int:
+        return self.member_indices.shape[0]
+
+
+def find_subhalos(
+    catalog: FOFCatalog,
+    positions: np.ndarray,
+    *,
+    halo: int,
+    linking_fraction: float = 0.5,
+    min_members: int = 10,
+    momenta: np.ndarray | None = None,
+) -> list[Subhalo]:
+    """Decompose one host halo into sub-halos.
+
+    Parameters
+    ----------
+    catalog:
+        FOF catalog from :func:`repro.analysis.fof_halos`.
+    positions:
+        The same (N, 3) particle positions the catalog was built from.
+    halo:
+        Host halo index in the catalog.
+    linking_fraction:
+        Sub-halo linking length as a fraction of the host linking length
+        (shorter -> denser structures; 0.5 is a conventional choice).
+    min_members:
+        Minimum sub-halo size.
+    momenta:
+        Optional (N, 3) momenta for sub-halo mean velocities.
+
+    Returns
+    -------
+    Sub-halos sorted by descending size.  The first entry is the host's
+    central (most massive) structure; the rest are satellites — the
+    paper's "main halo (red) ... each sub-halo in a different color".
+    """
+    if not 0 < linking_fraction <= 1.0:
+        raise ValueError(
+            f"linking_fraction must lie in (0, 1]: {linking_fraction}"
+        )
+    members = catalog.members(halo)
+    if members.size == 0:
+        return []
+    pos = np.asarray(positions, dtype=np.float64)[members]
+    box = catalog.box_size
+    # unwrap about the host center so distances are non-periodic locally
+    d = pos - catalog.centers[halo]
+    d -= box * np.round(d / box)
+
+    link = catalog.linking_length * linking_fraction
+    tree = cKDTree(d)
+    pairs = tree.query_pairs(link, output_type="ndarray")
+    n = d.shape[0]
+    if pairs.size:
+        graph = coo_matrix(
+            (np.ones(pairs.shape[0]), (pairs[:, 0], pairs[:, 1])),
+            shape=(n, n),
+        )
+        _, labels = connected_components(graph, directed=False)
+    else:
+        labels = np.arange(n)
+
+    counts = np.bincount(labels)
+    keep = np.flatnonzero(counts >= min_members)
+    order = keep[np.argsort(counts[keep])[::-1]]
+
+    vel = (
+        np.zeros((len(positions), 3))
+        if momenta is None
+        else np.asarray(momenta, dtype=np.float64)
+    )
+    subs = []
+    for sid in order:
+        local = np.flatnonzero(labels == sid)
+        gidx = members[local]
+        center = np.mod(
+            catalog.centers[halo] + d[local].mean(axis=0), box
+        )
+        subs.append(
+            Subhalo(
+                host=halo,
+                member_indices=gidx,
+                center=center,
+                mean_velocity=vel[gidx].mean(axis=0),
+            )
+        )
+    return subs

@@ -1,0 +1,157 @@
+"""Run configuration for the HACC reproduction.
+
+One frozen dataclass gathers every knob the paper exposes — box size,
+particle loading, filter parameters, handover radius, sub-cycling count,
+short-range backend — with validation, so misconfigured runs fail at
+construction instead of mid-simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.cosmology.background import WMAP7, Cosmology
+
+__all__ = ["SimulationConfig"]
+
+_BACKENDS = ("treepm", "p3m", "direct", "pm")
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Everything needed to set up and evolve a simulation.
+
+    Parameters
+    ----------
+    box_size:
+        Comoving box side, Mpc/h.
+    n_per_dim:
+        Particles per dimension (total ``n_per_dim^3``).
+    grid_size:
+        PM grid points per dimension (default: equal to ``n_per_dim``,
+        the paper's standard loading of ~1 particle per cell).
+    z_initial, z_final:
+        Start / end redshifts (paper benchmark: 25 -> 0).
+    n_steps:
+        Number of full (long-range) steps.
+    n_subcycles:
+        Short-range sub-cycles per long-range step (paper: 5-10).
+    backend:
+        Short-range solver: ``"treepm"`` (BG/Q path), ``"p3m"``
+        (Roadrunner path), ``"direct"`` (O(N^2) reference) or ``"pm"``
+        (long-range only).
+    sigma, ns:
+        Spectral-filter parameters (Eq. 5; nominal 0.8 / 3).
+    rcut_cells:
+        Short/long handover radius in grid cells (nominal 3).
+    leaf_size:
+        RCB fat-leaf capacity (treepm backend).
+    eps_cells:
+        Short-range force softening (cells^2).
+    lpt_order:
+        1 = Zel'dovich, 2 = 2LPT initial conditions.
+    step_spacing:
+        ``"a"`` for uniform scale-factor steps, ``"loga"`` for uniform
+        logarithmic steps.
+    seed:
+        White-noise seed for the initial conditions.
+    cosmology:
+        Background model (default WMAP7-era parameters).
+    """
+
+    box_size: float
+    n_per_dim: int
+    grid_size: int | None = None
+    z_initial: float = 25.0
+    z_final: float = 0.0
+    n_steps: int = 32
+    n_subcycles: int = 5
+    backend: str = "treepm"
+    sigma: float = 0.8
+    ns: int = 3
+    rcut_cells: float = 3.0
+    leaf_size: int = 128
+    eps_cells: float = 0.0
+    laplacian_order: int = 6
+    gradient_order: int = 4
+    lpt_order: int = 1
+    step_spacing: str = "a"
+    seed: int = 0
+    cosmology: Cosmology = field(default_factory=lambda: WMAP7)
+
+    def __post_init__(self) -> None:
+        if self.box_size <= 0:
+            raise ValueError(f"box_size must be positive: {self.box_size}")
+        if self.n_per_dim < 2:
+            raise ValueError(f"n_per_dim must be >= 2: {self.n_per_dim}")
+        if self.grid() < 4:
+            raise ValueError(f"grid_size must be >= 4: {self.grid()}")
+        if self.z_initial <= self.z_final:
+            raise ValueError(
+                f"z_initial ({self.z_initial}) must exceed z_final "
+                f"({self.z_final})"
+            )
+        if self.z_final < 0:
+            raise ValueError(f"z_final must be >= 0: {self.z_final}")
+        if self.n_steps < 1:
+            raise ValueError(f"n_steps must be >= 1: {self.n_steps}")
+        if self.n_subcycles < 1:
+            raise ValueError(f"n_subcycles must be >= 1: {self.n_subcycles}")
+        if self.backend not in _BACKENDS:
+            raise ValueError(
+                f"backend must be one of {_BACKENDS}, got {self.backend!r}"
+            )
+        if self.step_spacing not in ("a", "loga"):
+            raise ValueError(
+                f"step_spacing must be 'a' or 'loga': {self.step_spacing!r}"
+            )
+        if self.rcut_cells <= 0:
+            raise ValueError(f"rcut_cells must be positive: {self.rcut_cells}")
+        if self.rcut() >= self.box_size / 2:
+            raise ValueError(
+                "short-range cutoff exceeds half the box; increase the "
+                "grid or the box"
+            )
+        if self.lpt_order not in (1, 2):
+            raise ValueError(f"lpt_order must be 1 or 2: {self.lpt_order}")
+
+    # ------------------------------------------------------------------
+    def grid(self) -> int:
+        """Effective PM grid size."""
+        return self.grid_size if self.grid_size is not None else self.n_per_dim
+
+    @property
+    def n_particles(self) -> int:
+        return self.n_per_dim**3
+
+    @property
+    def a_initial(self) -> float:
+        return 1.0 / (1.0 + self.z_initial)
+
+    @property
+    def a_final(self) -> float:
+        return 1.0 / (1.0 + self.z_final)
+
+    def spacing(self) -> float:
+        """PM grid spacing, Mpc/h."""
+        return self.box_size / self.grid()
+
+    def rcut(self) -> float:
+        """Physical short/long handover radius, Mpc/h."""
+        return self.rcut_cells * self.spacing()
+
+    def step_edges(self) -> np.ndarray:
+        """Scale-factor values bounding each full step (length n_steps+1)."""
+        if self.step_spacing == "a":
+            return np.linspace(self.a_initial, self.a_final, self.n_steps + 1)
+        return np.exp(
+            np.linspace(
+                np.log(self.a_initial), np.log(self.a_final), self.n_steps + 1
+            )
+        )
+
+    def with_(self, **kwargs) -> "SimulationConfig":
+        """Copy with selected fields replaced."""
+        return replace(self, **kwargs)

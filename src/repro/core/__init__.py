@@ -1,0 +1,23 @@
+"""The HACC core: particle container, SKS time stepper, simulation driver."""
+
+from repro.core.particles import Particles
+from repro.core.timestepper import (
+    SubcycledStepper,
+    drift_coefficient,
+    kick_coefficient,
+)
+from repro.core.simulation import HACCSimulation
+from repro.core.diagnostics import EnergyState, LayzerIrvineMonitor
+from repro.core.pipeline import ProductSchedule, SimulationPipeline
+
+__all__ = [
+    "Particles",
+    "SubcycledStepper",
+    "drift_coefficient",
+    "kick_coefficient",
+    "HACCSimulation",
+    "EnergyState",
+    "LayzerIrvineMonitor",
+    "ProductSchedule",
+    "SimulationPipeline",
+]

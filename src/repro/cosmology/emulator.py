@@ -1,0 +1,202 @@
+"""Power-spectrum emulation over cosmological parameter space.
+
+Section I frames the throughput problem: "Scientific inference from sets
+of cosmological observations is a statistical inverse problem where many
+runs of the forward problem are needed ... For many analyses, hundreds of
+large-scale, state of the art simulations will be required" — the Cosmic
+Calibration program (the paper's Ref. [20]) answers it by *emulating*
+P(k) from a designed set of forward runs.
+
+This module implements that pattern end-to-end, with the forward model
+pluggable (HALOFIT by default; a function running actual simulations
+works identically):
+
+1. a deterministic Latin-hypercube design over (Omega_m, sigma8, w0);
+2. forward evaluations of ``ln P(k)`` at the design points;
+3. a per-k quadratic polynomial response surface fitted by least squares
+   (the regularized low-order basis emulators actually use at this
+   parameter count);
+4. percent-level predictions anywhere inside the design box, at a cost
+   of microseconds instead of a forward solve — the ~1e5x speedup that
+   makes MCMC over simulations feasible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.cosmology.background import Cosmology
+from repro.cosmology.halofit import HalofitPower
+from repro.cosmology.power_spectrum import LinearPower
+
+__all__ = ["ParameterBox", "latin_hypercube", "PowerSpectrumEmulator"]
+
+
+@dataclass(frozen=True)
+class ParameterBox:
+    """The emulated region of (Omega_m, sigma8, w0) space."""
+
+    omega_m: tuple[float, float] = (0.22, 0.32)
+    sigma8: tuple[float, float] = (0.7, 0.9)
+    w0: tuple[float, float] = (-1.2, -0.8)
+
+    def __post_init__(self) -> None:
+        for name in ("omega_m", "sigma8", "w0"):
+            lo, hi = getattr(self, name)
+            if not lo < hi:
+                raise ValueError(f"empty range for {name}: ({lo}, {hi})")
+
+    @property
+    def names(self) -> tuple[str, str, str]:
+        return ("omega_m", "sigma8", "w0")
+
+    def bounds(self) -> np.ndarray:
+        return np.array([self.omega_m, self.sigma8, self.w0])
+
+    def normalize(self, params: np.ndarray) -> np.ndarray:
+        """Map physical parameters to the unit cube."""
+        b = self.bounds()
+        return (params - b[:, 0]) / (b[:, 1] - b[:, 0])
+
+    def denormalize(self, unit: np.ndarray) -> np.ndarray:
+        b = self.bounds()
+        return b[:, 0] + unit * (b[:, 1] - b[:, 0])
+
+    def contains(self, params: np.ndarray) -> bool:
+        u = self.normalize(np.asarray(params, dtype=np.float64))
+        return bool(np.all(u >= -1e-9) and np.all(u <= 1 + 1e-9))
+
+
+def latin_hypercube(n: int, dim: int, seed: int = 0) -> np.ndarray:
+    """Deterministic Latin-hypercube sample in the unit cube.
+
+    Each dimension's range is split into ``n`` strata with exactly one
+    point per stratum — the space-filling property emulator designs need
+    (a plain random sample leaves holes that inflate emulation error).
+    """
+    if n < 2 or dim < 1:
+        raise ValueError(f"need n >= 2 points and dim >= 1: ({n}, {dim})")
+    rng = np.random.default_rng(seed)
+    out = np.empty((n, dim))
+    for d in range(dim):
+        perm = rng.permutation(n)
+        out[:, d] = (perm + rng.uniform(0.3, 0.7, n)) / n
+    return out
+
+
+class PowerSpectrumEmulator:
+    """Quadratic response-surface emulator for ``ln P(k)``.
+
+    Parameters
+    ----------
+    box:
+        Parameter region to emulate.
+    k:
+        Wavenumber grid (h/Mpc) the emulator predicts on.
+    n_design:
+        Forward-model evaluations in the training design (>= 10 for the
+        10-term quadratic basis in 3 parameters).
+    forward:
+        Callable ``(cosmology, k) -> P(k)``; defaults to HALOFIT at z=0.
+        Passing a function that runs an actual simulation turns this
+        into the paper's full Cosmic-Calibration pipeline.
+    seed:
+        Design seed.
+    """
+
+    def __init__(
+        self,
+        box: ParameterBox | None = None,
+        k: np.ndarray | None = None,
+        n_design: int = 24,
+        forward: Callable[[Cosmology, np.ndarray], np.ndarray] | None = None,
+        seed: int = 0,
+        base_cosmology: Cosmology | None = None,
+    ) -> None:
+        self.box = box if box is not None else ParameterBox()
+        self.k = (
+            np.logspace(-2, 0.5, 32) if k is None else np.asarray(k, float)
+        )
+        if np.any(self.k <= 0):
+            raise ValueError("emulation wavenumbers must be positive")
+        if n_design < 10:
+            raise ValueError(
+                f"quadratic basis in 3 parameters needs >= 10 designs: "
+                f"{n_design}"
+            )
+        self._base = base_cosmology if base_cosmology is not None else Cosmology()
+        self._forward = forward if forward is not None else self._halofit_forward
+        unit = latin_hypercube(n_design, 3, seed=seed)
+        self.design = self.box.denormalize(unit)
+        self._train(unit)
+
+    # ------------------------------------------------------------------
+    def _halofit_forward(self, cosmology: Cosmology, k: np.ndarray):
+        return HalofitPower(LinearPower(cosmology))(k)
+
+    def _cosmology_at(self, params: np.ndarray) -> Cosmology:
+        om, s8, w0 = (float(v) for v in params)
+        return self._base.with_(omega_m=om, sigma8=s8, w0=w0)
+
+    @staticmethod
+    def _basis(unit: np.ndarray) -> np.ndarray:
+        """Quadratic polynomial features of unit-cube parameters."""
+        u = np.atleast_2d(unit)
+        x, y, z = u[:, 0], u[:, 1], u[:, 2]
+        return np.stack(
+            [
+                np.ones_like(x),
+                x, y, z,
+                x * x, y * y, z * z,
+                x * y, x * z, y * z,
+            ],
+            axis=1,
+        )
+
+    def _train(self, unit: np.ndarray) -> None:
+        targets = np.empty((unit.shape[0], self.k.size))
+        for i, params in enumerate(self.design):
+            p = self._forward(self._cosmology_at(params), self.k)
+            if np.any(p <= 0):
+                raise ValueError(
+                    "forward model returned non-positive power at design "
+                    f"point {params}"
+                )
+            targets[i] = np.log(p)
+        basis = self._basis(unit)
+        self.coefficients, *_ = np.linalg.lstsq(basis, targets, rcond=None)
+        resid = targets - basis @ self.coefficients
+        #: per-k RMS training residual of ln P (emulation error floor)
+        self.training_rms = np.sqrt(np.mean(resid**2, axis=0))
+
+    # ------------------------------------------------------------------
+    def __call__(self, omega_m: float, sigma8: float, w0: float) -> np.ndarray:
+        """Emulated P(k) at the requested cosmology, (Mpc/h)^3."""
+        params = np.array([omega_m, sigma8, w0], dtype=np.float64)
+        if not self.box.contains(params):
+            raise ValueError(
+                f"parameters {params.tolist()} outside the emulated box"
+            )
+        unit = self.box.normalize(params)
+        ln_p = self._basis(unit[None, :]) @ self.coefficients
+        return np.exp(ln_p[0])
+
+    def truth(self, omega_m: float, sigma8: float, w0: float) -> np.ndarray:
+        """Run the forward model directly (for accuracy checks)."""
+        return self._forward(
+            self._cosmology_at(np.array([omega_m, sigma8, w0])), self.k
+        )
+
+    def validate(self, n_test: int = 8, seed: int = 1) -> np.ndarray:
+        """Max |ln P_emulated - ln P_true| over held-out test points."""
+        unit = latin_hypercube(max(n_test, 2), 3, seed=seed)
+        errs = np.zeros(self.k.size)
+        for u in unit:
+            params = self.box.denormalize(u)
+            pred = self(*params)
+            true = self.truth(*params)
+            errs = np.maximum(errs, np.abs(np.log(pred) - np.log(true)))
+        return errs

@@ -1,0 +1,141 @@
+"""Spectral kernels of the HACC long-range solver.
+
+Three k-space kernels compose the "Poisson-solve" (Section II):
+
+1. the **isotropizing spectral filter** (Eq. 5)
+
+   .. math:: S(k) = e^{-k^2 \\sigma^2 / 4}
+             \\left[\\frac{2}{k\\Delta} \\sin\\frac{k\\Delta}{2}\\right]^{n_s}
+
+   with nominal ``sigma = 0.8`` grid cells and ``n_s = 3``.  (As printed in
+   the paper the bracket reads ``(2k/\\Delta) sin(k\\Delta/2)``, which does
+   not reduce to unity at small k; the sinc form implemented here does and
+   matches the filter's stated purpose of suppressing CIC anisotropy
+   noise.)  It cuts the directional scatter of the PM pair force by over
+   an order of magnitude, which is what allows the short/long force split
+   at only 3 grid cells;
+
+2. the **sixth-order periodic influence function** — the spectral inverse
+   Laplacian of a 6th-order-accurate discrete operator,
+
+   .. math:: G(k) = -\\Big[\\sum_i \\tfrac{4}{\\Delta^2}
+             \\big(u_i + \\tfrac{1}{3} u_i^2 + \\tfrac{8}{45} u_i^3\\big)\\Big]^{-1},
+             \\quad u_i = \\sin^2(k_i \\Delta / 2);
+
+3. **fourth-order Super-Lanczos spectral differencing** (Hamming 1998) for
+   the potential gradient,
+
+   .. math:: D(k_i) = i\\,\\frac{8\\sin(k_i\\Delta) - \\sin(2 k_i\\Delta)}{6\\Delta}.
+
+Each kernel reduces to its continuum limit (``1``, ``-1/k^2``, ``i k``) as
+``k -> 0``; the unit tests verify both the limits and the stated
+convergence orders.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "spectral_filter",
+    "influence_function",
+    "super_lanczos_gradient",
+    "NOMINAL_SIGMA",
+    "NOMINAL_NS",
+]
+
+#: Nominal filter parameters from the paper (sigma in grid-cell units).
+NOMINAL_SIGMA = 0.8
+NOMINAL_NS = 3
+
+
+def _sinc(x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64)
+    small = np.abs(x) < 1e-12
+    safe = np.where(small, 1.0, x)
+    return np.where(small, 1.0, np.sin(safe) / safe)
+
+
+def spectral_filter(
+    kx,
+    ky,
+    kz,
+    spacing: float,
+    sigma: float = NOMINAL_SIGMA,
+    ns: int = NOMINAL_NS,
+) -> np.ndarray:
+    """Isotropizing density-smoothing filter S(k), Eq. (5).
+
+    Parameters
+    ----------
+    kx, ky, kz:
+        Broadcastable component wavenumber arrays (h/Mpc).
+    spacing:
+        Grid spacing ``Delta`` (Mpc/h).
+    sigma:
+        Gaussian width in units of the grid spacing (nominal 0.8).
+    ns:
+        Sinc-power index (nominal 3).
+
+    Returns
+    -------
+    Array with ``S(0) = 1`` and monotone decay toward the Nyquist scale.
+    """
+    if spacing <= 0:
+        raise ValueError(f"spacing must be positive: {spacing}")
+    if sigma < 0:
+        raise ValueError(f"sigma must be non-negative: {sigma}")
+    if ns < 0:
+        raise ValueError(f"ns must be non-negative: {ns}")
+    kk = np.sqrt(
+        np.asarray(kx) ** 2 + np.asarray(ky) ** 2 + np.asarray(kz) ** 2
+    )
+    gauss = np.exp(-(kk**2) * (sigma * spacing) ** 2 / 4.0)
+    return gauss * _sinc(kk * spacing / 2.0) ** ns
+
+
+def influence_function(kx, ky, kz, spacing: float, order: int = 6) -> np.ndarray:
+    """Periodic influence function G(k): spectral inverse Laplacian.
+
+    ``order`` selects the discretization accuracy (2, 4 or 6; the paper
+    uses 6).  The k=0 element is set to 0 (the mean of the potential is a
+    gauge choice).
+
+    Returns
+    -------
+    G(k) such that ``phi_k = G(k) rhs_k`` solves ``del^2 phi = rhs``.
+    """
+    if spacing <= 0:
+        raise ValueError(f"spacing must be positive: {spacing}")
+    if order not in (2, 4, 6):
+        raise ValueError(f"order must be 2, 4 or 6, got {order}")
+    k2_eff = np.zeros(np.broadcast(kx, ky, kz).shape, dtype=np.float64)
+    for kc in (kx, ky, kz):
+        u = np.sin(np.asarray(kc) * spacing / 2.0) ** 2
+        series = u.copy()
+        if order >= 4:
+            series += u * u / 3.0
+        if order >= 6:
+            series += 8.0 * u * u * u / 45.0
+        k2_eff = k2_eff + (4.0 / spacing**2) * series
+    green = np.zeros_like(k2_eff)
+    nonzero = k2_eff > 0
+    green[nonzero] = -1.0 / k2_eff[nonzero]
+    return green
+
+
+def super_lanczos_gradient(k, spacing: float, order: int = 4) -> np.ndarray:
+    """Spectral derivative kernel D(k) along one axis (pure imaginary).
+
+    ``order=4`` is the paper's fourth-order Super-Lanczos differencing:
+    ``i (8 sin(k Delta) - sin(2 k Delta)) / (6 Delta)``; ``order=2`` is
+    the plain centered difference, kept for the ablation study.
+    """
+    if spacing <= 0:
+        raise ValueError(f"spacing must be positive: {spacing}")
+    theta = np.asarray(k, dtype=np.float64) * spacing
+    if order == 2:
+        return 1j * np.sin(theta) / spacing
+    if order == 4:
+        return 1j * (8.0 * np.sin(theta) - np.sin(2.0 * theta)) / (6.0 * spacing)
+    raise ValueError(f"order must be 2 or 4, got {order}")

@@ -1,0 +1,18 @@
+"""Snapshot and measurement I/O (compressed ``.npz`` containers)."""
+
+from repro.io.snapshots import (
+    load_power_history,
+    load_snapshot,
+    save_power_history,
+    save_snapshot,
+)
+from repro.io.checkpoint import load_checkpoint, save_checkpoint
+
+__all__ = [
+    "save_snapshot",
+    "load_snapshot",
+    "save_power_history",
+    "load_power_history",
+    "save_checkpoint",
+    "load_checkpoint",
+]

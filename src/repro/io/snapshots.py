@@ -1,0 +1,140 @@
+"""Snapshot persistence.
+
+The paper's science run stored "a subset of the particles and the mass
+fluctuation power spectrum at 10 intermediate snapshots"; these helpers
+provide the same two artifact types as compressed ``.npz`` files with
+embedded metadata, so the example scripts and benches can checkpoint and
+resume analysis.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.particles import Particles
+
+__all__ = [
+    "save_snapshot",
+    "load_snapshot",
+    "save_power_history",
+    "load_power_history",
+]
+
+_FORMAT_VERSION = 1
+
+
+def save_snapshot(
+    path: str | Path,
+    particles: Particles,
+    a: float,
+    *,
+    subsample: int = 1,
+    metadata: dict | None = None,
+) -> Path:
+    """Write a particle snapshot.
+
+    Parameters
+    ----------
+    path:
+        Target file (``.npz`` appended if missing).
+    particles:
+        State to store.
+    a:
+        Scale factor of the snapshot.
+    subsample:
+        Keep every ``subsample``-th particle (the paper stored "a subset
+        of the particles" when the file system was small).
+    metadata:
+        JSON-serializable extras stored alongside.
+    """
+    if subsample < 1:
+        raise ValueError(f"subsample must be >= 1: {subsample}")
+    if a <= 0:
+        raise ValueError(f"scale factor must be positive: {a}")
+    p = Path(path)
+    if p.suffix != ".npz":
+        # append rather than replace: "z0.5" must become "z0.5.npz"
+        p = p.with_name(p.name + ".npz")
+    sel = slice(None, None, subsample)
+    meta = {"format_version": _FORMAT_VERSION, **(metadata or {})}
+    np.savez_compressed(
+        p,
+        positions=particles.positions[sel],
+        momenta=particles.momenta[sel],
+        masses=particles.masses[sel],
+        ids=particles.ids[sel],
+        box_size=np.float64(particles.box_size),
+        a=np.float64(a),
+        metadata=json.dumps(meta),
+    )
+    return p
+
+
+def load_snapshot(path: str | Path) -> tuple[Particles, float, dict]:
+    """Read a snapshot; returns ``(particles, a, metadata)``."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        meta = json.loads(str(data["metadata"]))
+        if meta.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported snapshot format: {meta.get('format_version')}"
+            )
+        particles = Particles(
+            positions=data["positions"].copy(),
+            momenta=data["momenta"].copy(),
+            masses=data["masses"].copy(),
+            ids=data["ids"].copy(),
+            box_size=float(data["box_size"]),
+        )
+        return particles, float(data["a"]), meta
+
+
+def save_power_history(
+    path: str | Path,
+    redshifts: list[float],
+    spectra: list,
+    *,
+    metadata: dict | None = None,
+) -> Path:
+    """Store a sequence of power spectra (the Fig. 10 data product).
+
+    ``spectra`` are :class:`repro.analysis.power.PowerSpectrum` objects,
+    one per redshift.
+    """
+    if len(redshifts) != len(spectra):
+        raise ValueError(
+            f"{len(redshifts)} redshifts but {len(spectra)} spectra"
+        )
+    p = Path(path)
+    if p.suffix != ".npz":
+        # append rather than replace: "z0.5" must become "z0.5.npz"
+        p = p.with_name(p.name + ".npz")
+    arrays = {"redshifts": np.asarray(redshifts, dtype=np.float64)}
+    for i, ps in enumerate(spectra):
+        arrays[f"k_{i}"] = ps.k
+        arrays[f"p_{i}"] = ps.power
+        arrays[f"nmodes_{i}"] = ps.n_modes
+    meta = {"format_version": _FORMAT_VERSION, **(metadata or {})}
+    np.savez_compressed(p, metadata=json.dumps(meta), **arrays)
+    return p
+
+
+def load_power_history(path: str | Path) -> tuple[np.ndarray, list[dict]]:
+    """Read a power-spectrum history; returns ``(redshifts, records)``.
+
+    Each record is a dict with ``k``, ``power`` and ``n_modes`` arrays.
+    """
+    with np.load(Path(path), allow_pickle=False) as data:
+        z = data["redshifts"].copy()
+        records = []
+        for i in range(len(z)):
+            records.append(
+                {
+                    "k": data[f"k_{i}"].copy(),
+                    "power": data[f"p_{i}"].copy(),
+                    "n_modes": data[f"nmodes_{i}"].copy(),
+                }
+            )
+        return z, records

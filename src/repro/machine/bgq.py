@@ -1,0 +1,121 @@
+"""The Blue Gene/Q compute node and system model.
+
+All numbers come from Section III of the paper (and the BQC literature it
+cites): a System-on-Chip with 17 augmented 64-bit PowerPC A2 cores (16 for
+applications), 4 hardware threads and a 4-wide SIMD quad FPU (QPX) per
+core, 1.6 GHz clock, 16 KB private L1 per core, a shared 32 MB L2, and a
+5-D torus with 10 links totalling 40 GB/s per node.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.parallel.topology import TorusTopology
+
+__all__ = ["BGQNode", "BGQSystem"]
+
+
+@dataclass(frozen=True)
+class BGQNode:
+    """One BQC node; defaults are the paper's hardware constants."""
+
+    clock_hz: float = 1.6e9
+    app_cores: int = 16
+    hw_threads_per_core: int = 4
+    qpx_width: int = 4  # SIMD lanes
+    fma_flops_per_lane: int = 2  # multiply + add
+    fp_latency_cycles: int = 6
+    vector_registers: int = 32
+    l1_data_kb: int = 16
+    l2_shared_mb: int = 32
+    l2_latency_cycles: int = 45
+    memory_gb: int = 16
+    memory_bw_bytes_per_cycle: float = 18.0
+    torus_links: int = 10
+    torus_total_bw_bytes: float = 40.0e9
+
+    @property
+    def flops_per_core_peak(self) -> float:
+        """12.8 GFlops: 4 lanes x 2 flops x 1.6 GHz."""
+        return self.clock_hz * self.qpx_width * self.fma_flops_per_lane
+
+    @property
+    def flops_per_node_peak(self) -> float:
+        """204.8 GFlops per BQC."""
+        return self.flops_per_core_peak * self.app_cores
+
+    @property
+    def link_bandwidth_bytes(self) -> float:
+        """Per-link bandwidth (uniform split of the 40 GB/s total)."""
+        return self.torus_total_bw_bytes / self.torus_links
+
+    @property
+    def memory_bandwidth_bytes(self) -> float:
+        """Sustained memory bandwidth in bytes/s (18 B/cycle measured)."""
+        return self.memory_bw_bytes_per_cycle * self.clock_hz
+
+    def flops_per_rank_peak(self, ranks_per_node: int) -> float:
+        """Peak flop rate available to one MPI rank."""
+        if not 1 <= ranks_per_node <= self.app_cores * self.hw_threads_per_core:
+            raise ValueError(
+                f"ranks_per_node out of range: {ranks_per_node}"
+            )
+        return self.flops_per_node_peak / ranks_per_node
+
+
+@dataclass(frozen=True)
+class BGQSystem:
+    """A BG/Q partition: racks of 1024 nodes on a 5-D torus.
+
+    The paper's reference systems: Mira (48 racks), Sequoia (96 racks —
+    the 1,572,864-core configuration of Table II).
+    """
+
+    n_nodes: int
+    node: BGQNode = BGQNode()
+
+    NODES_PER_RACK = 1024
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1: {self.n_nodes}")
+
+    @classmethod
+    def racks(cls, n_racks: float, node: BGQNode | None = None) -> "BGQSystem":
+        """System with ``n_racks`` racks (fractional racks allowed for
+        sub-rack partitions)."""
+        if n_racks <= 0:
+            raise ValueError(f"n_racks must be positive: {n_racks}")
+        return cls(
+            n_nodes=int(round(n_racks * cls.NODES_PER_RACK)),
+            node=node if node is not None else BGQNode(),
+        )
+
+    @classmethod
+    def for_ranks(
+        cls, ranks: int, ranks_per_node: int = 16, node: BGQNode | None = None
+    ) -> "BGQSystem":
+        """Smallest partition hosting ``ranks`` MPI ranks."""
+        if ranks < 1:
+            raise ValueError(f"ranks must be >= 1: {ranks}")
+        n_nodes = max(1, math.ceil(ranks / ranks_per_node))
+        return cls(n_nodes=n_nodes, node=node if node is not None else BGQNode())
+
+    # ------------------------------------------------------------------
+    @property
+    def cores(self) -> int:
+        return self.n_nodes * self.node.app_cores
+
+    @property
+    def peak_flops(self) -> float:
+        return self.n_nodes * self.node.flops_per_node_peak
+
+    @property
+    def peak_pflops(self) -> float:
+        return self.peak_flops / 1.0e15
+
+    def torus(self) -> TorusTopology:
+        """A balanced 5-D torus over the partition's nodes."""
+        return TorusTopology.balanced(self.n_nodes, ndim=5)

@@ -1,0 +1,177 @@
+"""Distributed-FFT timing model (Table I, Fig. 6).
+
+The pencil FFT's cost has two parts with different scalings:
+
+* **compute** — three 1-D FFT passes, ``5 N^3 log2(N^3)`` flops split
+  over the ranks, at an effective per-rank rate (FFTs are memory-bound,
+  so the rate is far below QPX peak);
+* **communication** — two transpose phases, each moving (almost) the
+  rank's whole local volume.  Each transpose is an all-to-all *within a
+  row or column of the rank grid*; with a torus-aware mapping those
+  subsets are spatially local, so the cost per byte grows with the
+  partition's linear extent, ``(nodes)^(1/5)`` on the 5-D torus.  This is
+  exactly the gentle upward creep of the weak-scaling rows of Table I
+  (5.25 s at 16k ranks -> 7.36 s at 131k ranks for ~160^3 points per
+  rank) coexisting with near-ideal strong scaling at fixed size.
+
+Calibration: the two rates (compute flops/s per rank, link efficiency)
+are fitted by least squares to the published Table I rows — the model
+*form* comes from the architecture; only these two scalars are free.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.machine.bgq import BGQNode
+from repro.machine.network import TorusNetworkModel
+from repro.machine.paper_data import (
+    TABLE1_STRONG,
+    TABLE1_WEAK_160,
+    TABLE1_WEAK_200,
+    FFTRow,
+)
+from repro.parallel.topology import TorusTopology
+
+__all__ = ["DistributedFFTModel"]
+
+
+@dataclass
+class DistributedFFTModel:
+    """Timing model for the pencil-decomposed 3-D FFT on BG/Q.
+
+    Parameters
+    ----------
+    node:
+        Node constants.
+    ranks_per_node:
+        MPI ranks per node (Table I was measured at 8).
+    rate_flops_per_rank:
+        Effective sequential FFT throughput per rank (calibrated).
+    link_efficiency:
+        Achieved fraction of raw link bandwidth in the transpose
+        all-to-alls (calibrated).
+    """
+
+    node: BGQNode = field(default_factory=BGQNode)
+    ranks_per_node: int = 8
+    rate_flops_per_rank: float = 3.0e8
+    link_efficiency: float = 0.5
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def fft_flops(n: int) -> float:
+        """Nominal 3-D complex FFT flops: ``5 N^3 log2(N^3)``."""
+        if n < 2:
+            raise ValueError(f"n must be >= 2: {n}")
+        return 5.0 * n**3 * 3.0 * math.log2(n)
+
+    @staticmethod
+    def transpose_bytes(n: int) -> float:
+        """Bytes moved by the two pencil transposes (complex double)."""
+        return 2.0 * n**3 * 16.0
+
+    def _terms(self, n: int, ranks: int) -> tuple[float, float]:
+        """(compute flops per rank, hop-weighted comm bytes per rank).
+
+        The comm term is the per-rank transpose volume scaled by the
+        partition's per-dimension torus extent ``nodes^(1/5)`` — subset
+        all-to-alls travel further, per byte, on bigger machines.
+        """
+        if ranks < 1:
+            raise ValueError(f"ranks must be >= 1: {ranks}")
+        nodes = max(1, ranks // self.ranks_per_node)
+        extent = nodes ** 0.2
+        compute = self.fft_flops(n) / ranks
+        comm = self.transpose_bytes(n) / ranks * extent
+        return compute, comm
+
+    def time(self, n: int, ranks: int) -> float:
+        """Predicted wall-clock seconds for one 3-D FFT of size ``n^3``."""
+        compute, comm = self._terms(n, ranks)
+        bw = self.node.link_bandwidth_bytes * self.link_efficiency
+        return compute / self.rate_flops_per_rank + comm / bw
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def calibrated(
+        cls,
+        rows: tuple[FFTRow, ...] | None = None,
+        node: BGQNode | None = None,
+        ranks_per_node: int = 8,
+    ) -> "DistributedFFTModel":
+        """Least-squares calibration of the two rates against Table I.
+
+        ``T = A / rate + B / bw`` is linear in ``(1/rate, 1/bw)``; solve
+        the overdetermined system over the published rows.  Residuals are
+        *relative* (each row divided by its published time) so the
+        sub-second strong-scaling rows carry the same weight as the
+        multi-second weak-scaling rows.
+        """
+        node = node if node is not None else BGQNode()
+        if rows is None:
+            rows = TABLE1_STRONG + TABLE1_WEAK_160 + TABLE1_WEAK_200
+        if len(rows) < 2:
+            raise ValueError("need at least two rows to calibrate")
+        model = cls(node=node, ranks_per_node=ranks_per_node)
+        design = []
+        target = []
+        for row in rows:
+            a, b = model._terms(row.n, row.ranks)
+            design.append([a / row.seconds, b / row.seconds])
+            target.append(1.0)
+        coeff, *_ = np.linalg.lstsq(
+            np.asarray(design), np.asarray(target), rcond=None
+        )
+        inv_rate, inv_bw = (max(c, 1e-30) for c in coeff)
+        model.rate_flops_per_rank = 1.0 / inv_rate
+        model.link_efficiency = 1.0 / (inv_bw * node.link_bandwidth_bytes)
+        return model
+
+    # ------------------------------------------------------------------
+    def table1(self) -> list[dict]:
+        """Model predictions next to every published Table I row."""
+        out = []
+        for block, rows in (
+            ("strong-1024^3", TABLE1_STRONG),
+            ("weak-160^3/rank", TABLE1_WEAK_160),
+            ("weak-200^3/rank", TABLE1_WEAK_200),
+        ):
+            for row in rows:
+                t = self.time(row.n, row.ranks)
+                out.append(
+                    {
+                        "block": block,
+                        "n": row.n,
+                        "ranks": row.ranks,
+                        "paper_s": row.seconds,
+                        "model_s": t,
+                        "ratio": t / row.seconds,
+                    }
+                )
+        return out
+
+    def poisson_time_per_particle(
+        self,
+        ranks: int,
+        particles_per_rank: float,
+        n_ffts_per_solve: int = 4,
+    ) -> float:
+        """Seconds per long-range solve per particle (the Fig. 6 y-axis).
+
+        One forward plus three gradient-component inverse FFTs per
+        Poisson solve; the grid matches the particle load (~1 point per
+        particle, the paper's standard loading).
+        """
+        if particles_per_rank <= 0:
+            raise ValueError("particles_per_rank must be positive")
+        n = int(round((particles_per_rank * ranks) ** (1.0 / 3.0)))
+        n = max(n, 2)
+        return (
+            n_ffts_per_solve
+            * self.time(n, ranks)
+            / (particles_per_rank * ranks)
+        )

@@ -1,0 +1,177 @@
+"""Cycle-level model of the BG/Q short-range force kernel (Fig. 5).
+
+The paper's kernel facts (Section III):
+
+* the unrolled loop body is **26 QPX instructions** processing 8
+  interactions (4 SIMD lanes x 2-fold unroll); **16 are FMAs**, for 168
+  flops — so the arithmetic ceiling is ``168 / (26 x 8) = 81%`` of peak;
+* floating-point latency is **6 cycles**; dependent instructions are kept
+  apart by the 2-fold unroll and by running up to **4 hardware threads
+  per core**, i.e. latency is fully hidden once
+  ``threads_per_core x unroll >= 6`` independent streams exist;
+* each particle also pays per-list overhead (neighbor-list generation,
+  loop head/tail, write-back), so efficiency climbs with neighbor-list
+  size and plateaus near the ceiling — the shape of Fig. 5.
+
+The model composes exactly those three effects:
+
+.. math:: \\mathrm{peak\\ fraction}(n, r, t) =
+          \\underbrace{\\tfrac{168}{208}}_{\\rm ceiling}
+          \\times \\underbrace{\\min(1, t_c u / \\lambda)}_{\\rm issue}
+          \\times \\underbrace{\\tfrac{n}{n + h}}_{\\rm overhead}
+          \\times \\underbrace{(1 - \\pi \\log_2(16/r))}_{\\rm locality}
+
+with ``t_c`` threads/core, ``u = 2`` unroll, ``lambda = 6``,
+``h`` the per-particle overhead in interaction-equivalents, and a small
+locality penalty for few fat ranks (Fig. 5's "exceptional performance
+even at 2 ranks per node" — slightly below the 16-rank curves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machine.bgq import BGQNode
+from repro.machine.paper_data import (
+    KERNEL_FLOPS,
+    KERNEL_INSTRUCTIONS,
+    KERNEL_INTERACTIONS_PER_ITERATION,
+)
+
+__all__ = ["ForceKernelModel", "FIG5_CONFIGS"]
+
+#: the eight (ranks/node, threads/rank) configurations plotted in Fig. 5
+FIG5_CONFIGS = (
+    (16, 4),
+    (8, 8),
+    (4, 16),
+    (2, 32),
+    (16, 1),
+    (8, 2),
+    (4, 4),
+    (2, 8),
+)
+
+
+@dataclass(frozen=True)
+class ForceKernelModel:
+    """Performance model for the short-range force kernel.
+
+    Parameters
+    ----------
+    node:
+        BG/Q node constants.
+    unroll:
+        Loop unroll factor (2 in the paper's kernel).
+    overhead_interactions:
+        Per-particle fixed cost expressed in interaction-equivalents
+        (list generation + loop head/tail); sets where the Fig. 5 curves
+        bend over.
+    locality_penalty:
+        Fractional loss per halving of ranks/node below 16 (larger
+        per-rank working sets stress L1/L2 slightly).
+    """
+
+    node: BGQNode = BGQNode()
+    unroll: int = 2
+    overhead_interactions: float = 120.0
+    locality_penalty: float = 0.012
+
+    def __post_init__(self) -> None:
+        if self.unroll < 1:
+            raise ValueError(f"unroll must be >= 1: {self.unroll}")
+        if self.overhead_interactions < 0:
+            raise ValueError("overhead_interactions must be >= 0")
+
+    # ------------------------------------------------------------------
+    @property
+    def arithmetic_ceiling(self) -> float:
+        """168/208 ~= 0.81: flops actually encoded vs all-FMA maximum."""
+        max_flops = (
+            KERNEL_INSTRUCTIONS
+            * self.node.qpx_width
+            * self.node.fma_flops_per_lane
+        )
+        return KERNEL_FLOPS / max_flops
+
+    def issue_utilization(self, threads_per_core: float) -> float:
+        """FPU issue-slot utilization from latency hiding.
+
+        ``threads_per_core x unroll`` independent instruction streams
+        cover the 6-cycle dependency latency; fewer streams stall the
+        pipeline proportionally.
+        """
+        if threads_per_core <= 0:
+            raise ValueError(
+                f"threads_per_core must be positive: {threads_per_core}"
+            )
+        streams = threads_per_core * self.unroll
+        return min(1.0, streams / self.node.fp_latency_cycles)
+
+    def list_efficiency(self, neighbors) -> np.ndarray:
+        """Fraction of kernel cycles doing pair work vs per-list overhead."""
+        n = np.asarray(neighbors, dtype=np.float64)
+        if np.any(n <= 0):
+            raise ValueError("neighbor-list sizes must be positive")
+        return n / (n + self.overhead_interactions)
+
+    def locality_factor(self, ranks_per_node: int) -> float:
+        """Mild penalty for few, fat ranks (2-32 threads per rank)."""
+        if ranks_per_node < 1 or ranks_per_node > self.node.app_cores:
+            raise ValueError(
+                f"ranks_per_node out of range: {ranks_per_node}"
+            )
+        halvings = np.log2(self.node.app_cores / ranks_per_node)
+        return float(max(0.0, 1.0 - self.locality_penalty * halvings))
+
+    # ------------------------------------------------------------------
+    def peak_fraction(
+        self,
+        neighbors,
+        ranks_per_node: int = 16,
+        threads_per_rank: int = 4,
+    ) -> np.ndarray:
+        """Fraction of node peak attained by the kernel (the Fig. 5 y-axis)."""
+        total_threads = ranks_per_node * threads_per_rank
+        max_threads = self.node.app_cores * self.node.hw_threads_per_core
+        if total_threads > max_threads:
+            raise ValueError(
+                f"{ranks_per_node} ranks x {threads_per_rank} threads "
+                f"exceeds {max_threads} hardware threads"
+            )
+        threads_per_core = total_threads / self.node.app_cores
+        return (
+            self.arithmetic_ceiling
+            * self.issue_utilization(threads_per_core)
+            * self.list_efficiency(neighbors)
+            * self.locality_factor(ranks_per_node)
+        )
+
+    def gflops_per_node(self, neighbors, ranks_per_node=16, threads_per_rank=4):
+        """Sustained node GFlops for the kernel."""
+        frac = self.peak_fraction(neighbors, ranks_per_node, threads_per_rank)
+        return frac * self.node.flops_per_node_peak / 1e9
+
+    def cycles_per_interaction(
+        self, neighbors, ranks_per_node: int = 16, threads_per_rank: int = 4
+    ) -> np.ndarray:
+        """Core cycles spent per pair interaction, including overheads."""
+        frac = self.peak_fraction(neighbors, ranks_per_node, threads_per_rank)
+        flops_per_cycle_core = (
+            self.node.qpx_width * self.node.fma_flops_per_lane
+        )
+        flops_per_interaction = (
+            KERNEL_FLOPS / KERNEL_INTERACTIONS_PER_ITERATION
+        )
+        return flops_per_interaction / (frac * flops_per_cycle_core)
+
+    # ------------------------------------------------------------------
+    def fig5_curves(self, neighbors) -> dict[tuple[int, int], np.ndarray]:
+        """Percent-of-peak curves for the eight Fig. 5 configurations."""
+        n = np.asarray(neighbors, dtype=np.float64)
+        return {
+            (r, t): 100.0 * self.peak_fraction(n, r, t)
+            for (r, t) in FIG5_CONFIGS
+        }

@@ -1,0 +1,85 @@
+"""Torus network timing model.
+
+Converts the byte counts produced by the distributed algorithms (pencil
+FFT transposes, overloading refreshes) into time on a BG/Q-style torus.
+All-to-all-heavy phases are bisection-limited: half of the total traffic
+must cross the balanced bisection of the torus, whose link count scales
+as ``n_nodes^(4/5)`` in 5-D — which is exactly why the measured weak-
+scaling FFT times of Table I creep up slowly with partition size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.bgq import BGQNode
+from repro.parallel.topology import TorusTopology
+
+__all__ = ["TorusNetworkModel"]
+
+
+@dataclass(frozen=True)
+class TorusNetworkModel:
+    """Network timing for a partition of ``n_nodes`` BG/Q nodes.
+
+    Parameters
+    ----------
+    n_nodes:
+        Partition size.
+    node:
+        Node constants (link bandwidth).
+    efficiency:
+        Achieved fraction of raw link bandwidth for large messages
+        (protocol + routing overhead); calibrated by the FFT model.
+    latency_s:
+        Per-phase software latency.
+    """
+
+    n_nodes: int
+    node: BGQNode = BGQNode()
+    efficiency: float = 0.8
+    latency_s: float = 5.0e-6
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1: {self.n_nodes}")
+        if not 0 < self.efficiency <= 1:
+            raise ValueError(f"efficiency must lie in (0, 1]: {self.efficiency}")
+
+    def topology(self) -> TorusTopology:
+        return TorusTopology.balanced(self.n_nodes, ndim=5)
+
+    # ------------------------------------------------------------------
+    def effective_link_bandwidth(self) -> float:
+        """Bytes/s per link after protocol efficiency."""
+        return self.node.link_bandwidth_bytes * self.efficiency
+
+    def alltoall_time(self, total_bytes: float) -> float:
+        """Bisection-limited time for an all-to-all moving ``total_bytes``.
+
+        ``total_bytes`` is the sum over all nodes of the data each ships
+        off-node; on average half of it crosses the bisection.
+        """
+        if total_bytes < 0:
+            raise ValueError("total_bytes must be non-negative")
+        topo = self.topology()
+        links = max(topo.bisection_links(), 1)
+        return (
+            self.latency_s
+            + 0.5 * total_bytes / (links * self.effective_link_bandwidth())
+        )
+
+    def nearest_neighbor_time(self, bytes_per_node: float) -> float:
+        """Simultaneous halo/overload exchange with the 26 spatial
+        neighbors, limited by the node's injection bandwidth."""
+        if bytes_per_node < 0:
+            raise ValueError("bytes_per_node must be non-negative")
+        inject = self.node.torus_total_bw_bytes * self.efficiency
+        return self.latency_s + bytes_per_node / inject
+
+    def reduction_time(self, bytes_per_item: float) -> float:
+        """Tree allreduce: latency-dominated, ~2 log2(N) hops."""
+        import math
+
+        hops = 2.0 * math.log2(max(self.n_nodes, 2))
+        return hops * self.latency_s + bytes_per_item / self.effective_link_bandwidth()

@@ -1,0 +1,156 @@
+"""Published performance numbers from Habib et al. (SC 2012).
+
+Kept verbatim in one module so that (a) model calibration uses clearly
+marked anchor rows only, and (b) every bench can print paper-vs-model
+columns without re-typing values.  Units follow the paper: seconds,
+PFlops, MB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "FFTRow",
+    "TABLE1_STRONG",
+    "TABLE1_WEAK_160",
+    "TABLE1_WEAK_200",
+    "Table2Row",
+    "TABLE2",
+    "Table3Row",
+    "TABLE3",
+    "KERNEL_INSTRUCTIONS",
+    "KERNEL_FMA_INSTRUCTIONS",
+    "KERNEL_FLOPS",
+    "KERNEL_INTERACTIONS_PER_ITERATION",
+    "FULLCODE_TIME_SPLIT",
+    "FULLCODE_PEAK_FRACTION",
+    "FPU_INSTRUCTION_FRACTION",
+    "INSTRUCTIONS_PER_CYCLE",
+    "L1_HIT_RATE",
+    "MEMORY_BW_USED_BYTES_PER_CYCLE",
+    "MEMORY_BW_PEAK_BYTES_PER_CYCLE",
+]
+
+
+@dataclass(frozen=True)
+class FFTRow:
+    """One row of Table I: FFT size (per dimension), ranks, seconds."""
+
+    n: int
+    ranks: int
+    seconds: float
+
+
+#: Table I, first block: strong scaling of a 1024^3 FFT (8 ranks/node).
+TABLE1_STRONG = (
+    FFTRow(1024, 256, 2.731),
+    FFTRow(1024, 512, 1.392),
+    FFTRow(1024, 1024, 0.713),
+    FFTRow(1024, 2048, 0.354),
+    FFTRow(1024, 4096, 0.179),
+    FFTRow(1024, 8192, 0.098),
+)
+
+#: Table I, second block: weak scaling at ~160^3 grid points per rank.
+TABLE1_WEAK_160 = (
+    FFTRow(4096, 16384, 5.254),
+    FFTRow(5120, 32768, 6.173),
+    FFTRow(6400, 65536, 6.841),
+    FFTRow(8192, 131072, 7.359),
+    FFTRow(9216, 262144, 7.238),
+)
+
+#: Table I, third block: weak scaling at ~200^3 grid points per rank.
+TABLE1_WEAK_200 = (
+    FFTRow(5120, 16384, 10.36),
+    FFTRow(6400, 32768, 12.40),
+    FFTRow(8192, 65536, 14.72),
+    FFTRow(10240, 131072, 14.24),
+)
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One row of Table II (weak scaling, ~2M particles/core)."""
+
+    cores: int
+    np_per_dim: int
+    box_mpc: float
+    geometry: tuple[int, int, int]
+    pflops: float
+    peak_percent: float
+    time_substep_particle: float
+    cores_time_substep: float
+    memory_mb_rank: float
+
+
+TABLE2 = (
+    Table2Row(2048, 1600, 1814.0, (16, 8, 16), 0.018, 69.00, 4.12e-8, 8.44e-5, 377.0),
+    Table2Row(4096, 2048, 2286.0, (16, 16, 16), 0.036, 68.59, 1.92e-8, 7.86e-5, 380.0),
+    Table2Row(8192, 2560, 2880.0, (16, 32, 16), 0.072, 68.75, 1.00e-8, 8.21e-5, 395.0),
+    Table2Row(16384, 3200, 3628.0, (32, 32, 16), 0.144, 68.50, 5.19e-9, 8.50e-5, 376.0),
+    Table2Row(32768, 4096, 4571.0, (64, 32, 16), 0.269, 69.02, 2.88e-9, 9.44e-5, 414.0),
+    Table2Row(65536, 5120, 5714.0, (64, 64, 16), 0.576, 68.64, 1.46e-9, 9.59e-5, 418.0),
+    Table2Row(131072, 6656, 6857.0, (64, 64, 32), 1.16, 69.37, 7.41e-10, 9.70e-5, 377.0),
+    Table2Row(262144, 8192, 9142.0, (64, 64, 64), 2.27, 67.70, 3.04e-10, 7.96e-5, 346.0),
+    Table2Row(393216, 9216, 9857.0, (96, 64, 64), 3.39, 67.27, 2.03e-10, 7.99e-5, 342.0),
+    Table2Row(524288, 10240, 11429.0, (128, 64, 64), 4.53, 67.46, 1.59e-10, 8.36e-5, 348.0),
+    Table2Row(786432, 12288, 13185.0, (128, 128, 48), 7.02, 69.75, 1.2e-10, 9.90e-5, 415.0),
+    Table2Row(1572864, 15360, 16614.0, (192, 128, 64), 13.94, 69.22, 5.96e-11, 9.93e-5, 402.0),
+)
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One row of Table III (strong scaling, 1024^3 particles)."""
+
+    cores: int
+    particles_per_core: int
+    tflops: float
+    peak_percent: float
+    time_substep: float
+    time_substep_particle: float
+    memory_mb_rank: float
+    memory_fraction_percent: float
+
+
+TABLE3 = (
+    Table3Row(512, 2097152, 4.42, 67.44, 145.94, 1.36e-7, 368.82, 62.39),
+    Table3Row(1024, 1048576, 8.77, 66.89, 98.01, 9.13e-8, 230.07, 31.52),
+    Table3Row(2048, 524288, 17.99, 68.67, 49.16, 4.58e-8, 125.86, 15.09),
+    Table3Row(4096, 262144, 33.06, 63.05, 21.97, 2.05e-8, 75.816, 8.57),
+    Table3Row(8192, 131072, 67.72, 64.59, 15.90, 1.48e-8, 57.15, 6.33),
+    Table3Row(16384, 65536, 131.27, 62.59, 10.01, 9.33e-9, 41.355, 4.50),
+)
+
+#: Fig. 8 caption: strong-scaling box is (1.42 Gpc)^3.
+TABLE3_BOX_MPC = 1420.0
+TABLE3_NP_PER_DIM = 1024
+
+# ---------------------------------------------------------------------------
+# Section III/IV scalar facts about the kernel and the full code
+# ---------------------------------------------------------------------------
+
+#: instructions in the unrolled kernel loop body
+KERNEL_INSTRUCTIONS = 26
+#: of which FMAs (8 flops each on QPX); the rest are non-FMA FPU ops
+KERNEL_FMA_INSTRUCTIONS = 16
+#: flops per loop body: 16 FMA x 8 + 10 x 4 = 168 ("= 40 + 128" in the text)
+KERNEL_FLOPS = 168
+#: interactions covered per loop body: 4-wide QPX x 2-fold unroll
+KERNEL_INTERACTIONS_PER_ITERATION = 8
+
+#: measured full-code time split at the 16 ranks/4 threads operating point:
+#: force kernel, tree walk, FFT, everything else (tree build, CIC, ...)
+FULLCODE_TIME_SPLIT = {"kernel": 0.80, "walk": 0.10, "fft": 0.05, "other": 0.05}
+
+#: overall sustained fraction of peak for the full code (Section IV.B)
+FULLCODE_PEAK_FRACTION = 0.695
+
+#: instruction mix and throughput measured on the 96-rack run
+FPU_INSTRUCTION_FRACTION = 0.5610
+INSTRUCTIONS_PER_CYCLE = 1.508
+L1_HIT_RATE = 0.9962
+MEMORY_BW_USED_BYTES_PER_CYCLE = 0.344
+MEMORY_BW_PEAK_BYTES_PER_CYCLE = 18.0

@@ -1,0 +1,152 @@
+"""N-dimensional torus network topology (the BG/Q 5-D torus).
+
+Each BG/Q compute node has 10 bidirectional links (2 per torus dimension)
+with 40 GB/s aggregate bandwidth (Section III).  The machine model needs
+hop counts, diameters and bisection widths to convert the communication
+volumes recorded by :class:`repro.parallel.SimulatedComm` into time; this
+module supplies that geometry for arbitrary torus shapes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import reduce
+
+import numpy as np
+
+__all__ = ["TorusTopology"]
+
+
+@dataclass(frozen=True)
+class TorusTopology:
+    """A torus with the given per-dimension extents.
+
+    Examples
+    --------
+    >>> t = TorusTopology((4, 4, 4, 8, 2))   # one BG/Q rack (1024 nodes)
+    >>> t.n_nodes
+    1024
+    >>> t.hops(0, 0)
+    0
+    """
+
+    dims: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.dims or any(d < 1 for d in self.dims):
+            raise ValueError(f"torus dims must be positive: {self.dims}")
+
+    @classmethod
+    def balanced(cls, n_nodes: int, ndim: int = 5) -> "TorusTopology":
+        """Near-balanced torus for ``n_nodes`` (BG/Q partitions are 5-D)."""
+        from repro.parallel.decomposition import balanced_dims
+
+        return cls(balanced_dims(n_nodes, ndim))
+
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return reduce(lambda a, b: a * b, self.dims, 1)
+
+    @property
+    def n_links_per_node(self) -> int:
+        """Bidirectional links per node: 2 per torus dimension.
+
+        Dimensions of extent 1 or 2 contribute fewer distinct links; the
+        full 5-D BG/Q torus has 10.
+        """
+        links = 0
+        for d in self.dims:
+            if d == 1:
+                continue
+            links += 1 if d == 2 else 2
+        return links
+
+    def coords(self, node: int) -> tuple[int, ...]:
+        """Torus coordinates of a linear node id (row-major)."""
+        if not 0 <= node < self.n_nodes:
+            raise ValueError(f"node {node} out of range")
+        out = []
+        for d in reversed(self.dims):
+            out.append(node % d)
+            node //= d
+        return tuple(reversed(out))
+
+    def node_of(self, coords) -> int:
+        """Linear node id from torus coordinates (periodic wrap applied)."""
+        node = 0
+        for c, d in zip(coords, self.dims):
+            node = node * d + (int(c) % d)
+        return node
+
+    # ------------------------------------------------------------------
+    def hops(self, a: int, b: int) -> int:
+        """Minimal hop distance between two nodes (per-dim wrap-around)."""
+        ca, cb = self.coords(a), self.coords(b)
+        total = 0
+        for x, y, d in zip(ca, cb, self.dims):
+            delta = abs(x - y)
+            total += min(delta, d - delta)
+        return total
+
+    @property
+    def diameter(self) -> int:
+        """Maximum hop distance: ``sum floor(d_i / 2)``."""
+        return sum(d // 2 for d in self.dims)
+
+    def average_hops(self) -> float:
+        """Mean hop distance between uniformly random node pairs.
+
+        Closed form per dimension: mean wrap distance of a ``d``-cycle is
+        ``d/4`` for even ``d`` and ``(d^2 - 1) / (4 d)`` for odd ``d``.
+        """
+        total = 0.0
+        for d in self.dims:
+            total += d / 4.0 if d % 2 == 0 else (d * d - 1.0) / (4.0 * d)
+        return total
+
+    def bisection_links(self) -> int:
+        """Links crossing a balanced bisection of the torus.
+
+        Cutting the longest dimension ``dmax`` in half severs
+        ``2 * n_nodes / dmax`` links (two cut planes of a wrapped cycle);
+        this is the standard torus bisection used to size all-to-all
+        traffic.
+        """
+        dmax = max(self.dims)
+        if dmax == 1:
+            return 0
+        cut_planes = 1 if dmax == 2 else 2
+        return cut_planes * (self.n_nodes // dmax)
+
+    # ------------------------------------------------------------------
+    def alltoall_time(
+        self,
+        bytes_per_node: float,
+        link_bandwidth: float,
+        latency: float = 0.0,
+    ) -> float:
+        """Time for an all-to-all moving ``bytes_per_node`` off every node.
+
+        Bisection-limited model: half the total traffic must cross the
+        bisection.  ``link_bandwidth`` in bytes/s per link.
+        """
+        if bytes_per_node < 0:
+            raise ValueError("bytes_per_node must be non-negative")
+        if link_bandwidth <= 0:
+            raise ValueError("link_bandwidth must be positive")
+        links = max(self.bisection_links(), 1)
+        cross = 0.5 * bytes_per_node * self.n_nodes
+        return latency + cross / (links * link_bandwidth)
+
+    def nearest_neighbor_time(
+        self,
+        bytes_per_link: float,
+        link_bandwidth: float,
+        latency: float = 0.0,
+    ) -> float:
+        """Time for a simultaneous nearest-neighbor exchange."""
+        if link_bandwidth <= 0:
+            raise ValueError("link_bandwidth must be positive")
+        return latency + bytes_per_link / link_bandwidth

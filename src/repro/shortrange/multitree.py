@@ -1,0 +1,204 @@
+"""Multiple RCB trees per rank: the paper's load-balancing future work.
+
+Section VI: "we will improve (nodal) load balancing by using multiple
+trees at each rank, enabling an improved threading of the tree-build."
+One monolithic tree serializes its top levels; several independent trees
+over spatial sub-blocks build concurrently and bound the largest
+single-thread work item.
+
+:class:`MultiTreeShortRange` splits the rank-local particle cloud into
+``n_trees`` blocks by recursive coordinate bisection (the same
+center-of-mass rule as the tree itself, so blocks carry near-equal
+*particle counts* even for clustered data), builds one RCB tree per
+block, and evaluates each leaf against the union of the interaction
+lists gathered from *all* trees.  The result is identical to the
+single-tree solver — asserted by tests — while
+:meth:`last_balance_report` quantifies the threading win: max/mean
+block size (build balance) and per-block kernel work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.shortrange.kernel import ShortRangeKernel
+from repro.shortrange.rcb_tree import RCBTree
+from repro.shortrange.solvers import ShortRangeSolver
+
+__all__ = ["MultiTreeShortRange", "rcb_blocks"]
+
+
+def rcb_blocks(
+    positions: np.ndarray,
+    masses: np.ndarray,
+    n_blocks: int,
+) -> list[np.ndarray]:
+    """Partition indices into ``n_blocks`` near-equal-count spatial blocks.
+
+    Recursive coordinate bisection at the *median* perpendicular to the
+    longest side — median rather than center-of-mass so every block gets
+    an equal particle share (the load-balance objective), unlike the
+    force tree where geometric splits aid accuracy.
+    """
+    if n_blocks < 1:
+        raise ValueError(f"n_blocks must be >= 1: {n_blocks}")
+    if n_blocks & (n_blocks - 1):
+        raise ValueError(f"n_blocks must be a power of two: {n_blocks}")
+    idx = np.arange(positions.shape[0], dtype=np.int64)
+    blocks = [idx]
+    while len(blocks) < n_blocks:
+        nxt: list[np.ndarray] = []
+        for b in blocks:
+            if b.size <= 1:
+                nxt.append(b)
+                nxt.append(np.empty(0, dtype=np.int64))
+                continue
+            pts = positions[b]
+            axis = int(np.argmax(pts.max(axis=0) - pts.min(axis=0)))
+            order = np.argsort(pts[:, axis], kind="stable")
+            half = b.size // 2
+            nxt.append(b[order[:half]])
+            nxt.append(b[order[half:]])
+        blocks = nxt
+    return blocks
+
+
+@dataclass
+class _BlockReport:
+    n_particles: int
+    n_leaves: int
+    interactions: int
+
+
+class MultiTreeShortRange(ShortRangeSolver):
+    """Short-range solver with ``n_trees`` independent RCB trees.
+
+    Parameters
+    ----------
+    kernel:
+        Fitted short-range kernel.
+    leaf_size:
+        Fat-leaf capacity per tree.
+    n_trees:
+        Number of trees (power of two; 1 reduces to the single-tree
+        path).
+    """
+
+    def __init__(
+        self,
+        kernel: ShortRangeKernel,
+        leaf_size: int = 128,
+        n_trees: int = 4,
+    ) -> None:
+        super().__init__(kernel)
+        if leaf_size < 1:
+            raise ValueError(f"leaf_size must be >= 1: {leaf_size}")
+        if n_trees < 1 or (n_trees & (n_trees - 1)):
+            raise ValueError(
+                f"n_trees must be a positive power of two: {n_trees}"
+            )
+        self.leaf_size = int(leaf_size)
+        self.n_trees = int(n_trees)
+        self._report: list[_BlockReport] = []
+
+    # ------------------------------------------------------------------
+    def accelerations_cloud(self, positions, masses, n_targets):
+        blocks = rcb_blocks(positions, masses, self.n_trees)
+        trees: list[RCBTree | None] = []
+        for b in blocks:
+            trees.append(
+                RCBTree(positions[b], masses[b], leaf_size=self.leaf_size)
+                if b.size
+                else None
+            )
+        acc = np.zeros((positions.shape[0], 3), dtype=np.float64)
+        self._report = []
+        rcut = self.kernel.rcut
+        for b, tree in zip(blocks, trees):
+            if tree is None:
+                self._report.append(_BlockReport(0, 0, 0))
+                continue
+            before = self.kernel.interaction_count
+            n_leaves = 0
+            for leaf in tree.leaves():
+                node = tree.node(leaf)
+                seg = slice(node.start, node.start + node.count)
+                orig = b[tree.perm[seg]]
+                if not np.any(orig < n_targets):
+                    continue
+                n_leaves += 1
+                # gather the shared interaction list across ALL trees:
+                # any block can contribute sources within rcut of this
+                # leaf's bounding box
+                contrib = np.zeros((node.count, 3))
+                for b2, t2 in zip(blocks, trees):
+                    if t2 is None:
+                        continue
+                    ilist = self._box_query(t2, node.lo, node.hi, rcut)
+                    if ilist.size == 0:
+                        continue
+                    contrib += self.kernel.accumulate(
+                        tree.positions[seg],
+                        t2.positions[ilist],
+                        t2.masses[ilist],
+                    )
+                acc[orig] = contrib
+            self._report.append(
+                _BlockReport(
+                    n_particles=int(b.size),
+                    n_leaves=n_leaves,
+                    interactions=int(
+                        self.kernel.interaction_count - before
+                    ),
+                )
+            )
+        return acc[:n_targets]
+
+    @staticmethod
+    def _box_query(
+        tree: RCBTree, lo: np.ndarray, hi: np.ndarray, rcut: float
+    ) -> np.ndarray:
+        """Tree-order indices of particles within rcut of box [lo, hi]."""
+        qlo, qhi = lo - rcut, hi + rcut
+        out: list[np.ndarray] = []
+        stack = [0] if tree.n_nodes else []
+        while stack:
+            i = stack.pop()
+            node = tree.node(i)
+            if np.any(node.lo > qhi) or np.any(node.hi < qlo):
+                continue
+            if node.is_leaf:
+                out.append(
+                    np.arange(
+                        node.start, node.start + node.count, dtype=np.int64
+                    )
+                )
+            else:
+                stack.append(node.left)
+                stack.append(node.right)
+        if not out:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(out)
+
+    # ------------------------------------------------------------------
+    def last_balance_report(self) -> dict:
+        """Load-balance metrics of the last evaluation.
+
+        ``build_imbalance`` is max/mean block particle count: the factor
+        by which the slowest tree build exceeds the average — the
+        quantity multiple trees exist to shrink.
+        """
+        if not self._report:
+            raise RuntimeError("no evaluation has run yet")
+        counts = np.array([r.n_particles for r in self._report], dtype=float)
+        work = np.array([r.interactions for r in self._report], dtype=float)
+        mean_c = counts.mean() if counts.size else 0.0
+        mean_w = work.mean() if work.size else 0.0
+        return {
+            "blocks": len(self._report),
+            "particles_per_block": counts.tolist(),
+            "build_imbalance": float(counts.max() / mean_c) if mean_c else 0.0,
+            "work_imbalance": float(work.max() / mean_w) if mean_w else 0.0,
+        }

@@ -1,0 +1,265 @@
+"""Recursive coordinate bisection (RCB) tree with fat leaves.
+
+Two principles drive the design (Section III of the paper):
+
+**Spatial locality** — the tree is built by recursively splitting the
+particle set in two at the center-of-mass coordinate perpendicular to the
+longest side of the bounding box; after the build the particle arrays are
+*physically reordered* so every node owns a contiguous slice.  Force
+evaluation then touches memory almost sequentially (the paper measures a
+99.62% L1 hit rate).
+
+**Walk minimization** — leaves are "fat" (tens to hundreds of particles).
+The tree walk produces one shared interaction list per *leaf*, not per
+particle, shifting work from slow pointer-chasing into the vectorized
+force kernel.  Fat leaves also increase accuracy: more of the dominant
+nearby force is summed exactly.
+
+The partitioning step mirrors HACC's three-phase structure-of-arrays
+scheme: phase 1 scans the split coordinate and records the permutation,
+phases 2-3 apply it to the remaining arrays — in NumPy this is one fancy
+index per array, preserving the "record swaps once, apply to all arrays"
+economy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RCBTree", "RCBNode"]
+
+
+@dataclass(frozen=True)
+class RCBNode:
+    """View of one tree node (leaf or internal)."""
+
+    index: int
+    start: int
+    count: int
+    lo: np.ndarray
+    hi: np.ndarray
+    left: int
+    right: int
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left < 0
+
+
+class RCBTree:
+    """Rank-local RCB tree over a particle cloud (no periodicity).
+
+    Parameters
+    ----------
+    positions:
+        (N, 3) positions; copied and reordered internally.
+    masses:
+        Optional (N,) weights (default 1); reordered alongside.
+    leaf_size:
+        Maximum particles per leaf ("fat leaf" capacity; the paper uses
+        tens to hundreds, with neighbor-list sizes of 500-2500).
+
+    Attributes
+    ----------
+    positions, masses:
+        Reordered SOA copies (contiguous per node).
+    perm:
+        ``positions[i] == original[perm[i]]`` — maps tree order back to
+        the caller's order when scattering forces.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> pts = np.random.default_rng(0).uniform(0, 1, (100, 3))
+    >>> tree = RCBTree(pts, leaf_size=16)
+    >>> sum(tree.node(l).count for l in tree.leaves()) == 100
+    True
+    """
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        masses: np.ndarray | None = None,
+        leaf_size: int = 128,
+    ) -> None:
+        pos = np.asarray(positions, dtype=np.float64)
+        if pos.ndim != 2 or pos.shape[1] != 3:
+            raise ValueError(f"positions must be (N, 3), got {pos.shape}")
+        if leaf_size < 1:
+            raise ValueError(f"leaf_size must be >= 1, got {leaf_size}")
+        n = pos.shape[0]
+        self.leaf_size = int(leaf_size)
+        self.n_particles = n
+        m = (
+            np.ones(n, dtype=np.float64)
+            if masses is None
+            else np.asarray(masses, dtype=np.float64)
+        )
+        if m.shape != (n,):
+            raise ValueError(f"masses shape {m.shape} != ({n},)")
+
+        # phase-1 arrays: coordinates drive the partition; the permutation
+        # is applied to every other array afterwards (phases 2-3).
+        self.perm = np.arange(n, dtype=np.int64)
+        self._x = pos[:, 0].copy()
+        self._y = pos[:, 1].copy()
+        self._z = pos[:, 2].copy()
+        self._m = m.copy()
+
+        self._start: list[int] = []
+        self._count: list[int] = []
+        self._lo: list[np.ndarray] = []
+        self._hi: list[np.ndarray] = []
+        self._left: list[int] = []
+        self._right: list[int] = []
+        if n:
+            self._build(0, n)
+        self.positions = np.stack([self._x, self._y, self._z], axis=1)
+        self.masses = self._m
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _bbox(self, start: int, end: int) -> tuple[np.ndarray, np.ndarray]:
+        sl = slice(start, end)
+        lo = np.array(
+            [self._x[sl].min(), self._y[sl].min(), self._z[sl].min()]
+        )
+        hi = np.array(
+            [self._x[sl].max(), self._y[sl].max(), self._z[sl].max()]
+        )
+        return lo, hi
+
+    def _new_node(self, start, count, lo, hi) -> int:
+        idx = len(self._start)
+        self._start.append(start)
+        self._count.append(count)
+        self._lo.append(lo)
+        self._hi.append(hi)
+        self._left.append(-1)
+        self._right.append(-1)
+        return idx
+
+    def _build(self, start: int, end: int) -> int:
+        """Iterative (explicit stack) recursive bisection of [start, end)."""
+        lo, hi = self._bbox(start, end)
+        root = self._new_node(start, end - start, lo, hi)
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            s = self._start[node]
+            c = self._count[node]
+            if c <= self.leaf_size:
+                continue
+            lo, hi = self._lo[node], self._hi[node]
+            axis = int(np.argmax(hi - lo))
+            coord = (self._x, self._y, self._z)[axis]
+            seg = slice(s, s + c)
+            # dividing line: center-of-mass coordinate along the longest side
+            w = self._m[seg]
+            split = float(np.average(coord[seg], weights=w))
+            mask = coord[seg] <= split
+            n_left = int(np.count_nonzero(mask))
+            if n_left == 0 or n_left == c:
+                # degenerate (all mass on one side): fall back to median
+                order = np.argsort(coord[seg], kind="stable")
+                n_left = c // 2
+                local_perm = order
+            else:
+                # stable two-sided partition: lefts keep order, then rights
+                idx = np.arange(c)
+                local_perm = np.concatenate([idx[mask], idx[~mask]])
+            self._apply_permutation(s, c, local_perm)
+            l_lo, l_hi = self._bbox(s, s + n_left)
+            r_lo, r_hi = self._bbox(s + n_left, s + c)
+            left = self._new_node(s, n_left, l_lo, l_hi)
+            right = self._new_node(s + n_left, c - n_left, r_lo, r_hi)
+            self._left[node] = left
+            self._right[node] = right
+            stack.append(left)
+            stack.append(right)
+        return root
+
+    def _apply_permutation(self, start: int, count: int, local_perm) -> None:
+        """Three-phase SOA partition: one recorded swap list, many arrays."""
+        seg = slice(start, start + count)
+        for arr in (self._x, self._y, self._z, self._m, self.perm):
+            arr[seg] = arr[seg][local_perm]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return len(self._start)
+
+    def node(self, index: int) -> RCBNode:
+        return RCBNode(
+            index=index,
+            start=self._start[index],
+            count=self._count[index],
+            lo=self._lo[index],
+            hi=self._hi[index],
+            left=self._left[index],
+            right=self._right[index],
+        )
+
+    def leaves(self) -> list[int]:
+        """Indices of all leaf nodes."""
+        return [i for i in range(self.n_nodes) if self._left[i] < 0]
+
+    def depth(self) -> int:
+        """Maximum node depth (root = 0)."""
+        if not self.n_nodes:
+            return 0
+        depth = {0: 0}
+        best = 0
+        for i in range(self.n_nodes):
+            d = depth.get(i, 0)
+            best = max(best, d)
+            if self._left[i] >= 0:
+                depth[self._left[i]] = d + 1
+                depth[self._right[i]] = d + 1
+        return best
+
+    # ------------------------------------------------------------------
+    def interaction_list(self, leaf: int, rcut: float) -> np.ndarray:
+        """Particle indices (tree order) within ``rcut`` of a leaf's bbox.
+
+        The walk prunes any node whose bounding box is farther than
+        ``rcut`` from the leaf's box; surviving leaves contribute their
+        whole contiguous slice.  All particles of the query leaf share
+        the returned list (Section III).
+        """
+        if rcut <= 0:
+            raise ValueError(f"rcut must be positive: {rcut}")
+        if self._left[leaf] >= 0:
+            raise ValueError(f"node {leaf} is not a leaf")
+        qlo = self._lo[leaf] - rcut
+        qhi = self._hi[leaf] + rcut
+        slices: list[tuple[int, int]] = []
+        stack = [0]
+        while stack:
+            i = stack.pop()
+            if np.any(self._lo[i] > qhi) or np.any(self._hi[i] < qlo):
+                continue
+            if self._left[i] < 0:
+                slices.append((self._start[i], self._start[i] + self._count[i]))
+            else:
+                stack.append(self._left[i])
+                stack.append(self._right[i])
+        if not slices:
+            return np.empty(0, dtype=np.int64)
+        slices.sort()
+        # merge adjacent slices so the gather is as contiguous as possible
+        merged = [slices[0]]
+        for a, b in slices[1:]:
+            if a <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(b, merged[-1][1]))
+            else:
+                merged.append((a, b))
+        return np.concatenate(
+            [np.arange(a, b, dtype=np.int64) for a, b in merged]
+        )

@@ -1,0 +1,26 @@
+"""Direct Vlasov-Poisson integration (1+1D): the governing equation.
+
+Cosmic structure formation is the Vlasov-Poisson system (Eqs. 1-2 of the
+paper) — "very difficult to solve directly because of its high
+dimensionality", which is *why* N-body tracer sampling exists.  This
+subpackage makes that argument concrete by actually solving the 1+1
+dimensional problem two independent ways:
+
+* :class:`VlasovPoisson1D` — direct phase-space integration on an
+  (x, v) grid with Strang-split semi-Lagrangian advection;
+* :class:`SheetModel` — the 1-D N-body analogue (infinite parallel
+  sheets), whose inter-particle force is exact.
+
+Their mutual agreement on collapse problems validates the tracer-particle
+approach at the level of the underlying PDE, and the grid solver's cost
+scaling (``nx * nv`` per step, and hopeless in 6-D) demonstrates the
+dimensionality wall the paper cites.
+
+Units: non-expanding background with ``4 pi G rho_bar = 1``, so linear
+perturbations grow as ``cosh(t)`` (Jeans instability of a cold medium).
+"""
+
+from repro.vlasov.phase_space import VlasovPoisson1D
+from repro.vlasov.sheet import SheetModel
+
+__all__ = ["VlasovPoisson1D", "SheetModel"]

@@ -1,0 +1,165 @@
+"""Semi-Lagrangian Vlasov-Poisson solver on a 1+1D phase-space grid.
+
+Solves Eq. (1)-(2) of the paper reduced to one spatial dimension on a
+static background:
+
+.. math:: \\partial_t f + v\\,\\partial_x f + g(x)\\,\\partial_v f = 0,
+          \\qquad \\partial_x g = -\\delta,
+
+with ``delta = rho/rho_bar - 1`` and units ``4 pi G rho_bar = 1`` (cold
+linear perturbations grow like ``cosh t``).  The classic Cheng-Knorr
+splitting alternates exact shear advections:
+
+1. half-step in x:  ``f(x, v) <- f(x - v dt/2, v)``;
+2. full kick in v:  ``f(x, v) <- f(x, v - g(x) dt)``;
+3. half-step in x.
+
+Each shear is a 1-D interpolation along one axis (periodic in x, clamped
+in v with mass-loss accounting), vectorized over the other axis.
+
+The per-step cost is ``O(nx nv)``; the 3+3-D analogue would be
+``O(n^6)`` — the dimensionality wall that makes tracer particles (HACC's
+approach) the only viable path at survey scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["VlasovPoisson1D"]
+
+
+class VlasovPoisson1D:
+    """Phase-space distribution on an ``nx x nv`` grid.
+
+    Parameters
+    ----------
+    nx, nv:
+        Grid points in position and velocity.
+    box_size:
+        Periodic spatial extent L.
+    v_max:
+        Velocity grid spans [-v_max, v_max]; mass advected past the edge
+        is clipped (tracked in :attr:`mass_lost`).
+    """
+
+    def __init__(
+        self,
+        nx: int,
+        nv: int,
+        box_size: float,
+        v_max: float,
+    ) -> None:
+        if nx < 4 or nv < 4:
+            raise ValueError(f"grid too small: {nx} x {nv}")
+        if box_size <= 0 or v_max <= 0:
+            raise ValueError("box_size and v_max must be positive")
+        self.nx, self.nv = int(nx), int(nv)
+        self.box_size = float(box_size)
+        self.v_max = float(v_max)
+        self.x = np.arange(nx) * (box_size / nx)
+        self.v = np.linspace(-v_max, v_max, nv)
+        self.dx = box_size / nx
+        self.dv = self.v[1] - self.v[0]
+        self.f = np.zeros((nx, nv))
+        self.time = 0.0
+        self.mass_lost = 0.0
+        k = np.fft.rfftfreq(nx, d=1.0 / nx) * (2 * np.pi / box_size)
+        self._inv_ik = np.zeros_like(k, dtype=np.complex128)
+        self._inv_ik[1:] = 1.0 / (1j * k[1:])
+
+    # ------------------------------------------------------------------
+    # setup
+    # ------------------------------------------------------------------
+    def set_cold_perturbation(
+        self, amplitude: float, mode: int = 1, sigma_v: float | None = None
+    ) -> None:
+        """Cold (single-stream) sinusoidal density perturbation.
+
+        ``rho(x) = 1 + amplitude cos(2 pi mode x / L)`` at rest, with a
+        narrow Gaussian velocity profile of width ``sigma_v`` (default:
+        2 velocity cells) standing in for the cold delta function.
+        """
+        if not 0 <= amplitude < 1:
+            raise ValueError(f"amplitude must lie in [0, 1): {amplitude}")
+        if mode < 1:
+            raise ValueError(f"mode must be >= 1: {mode}")
+        sv = 2.0 * self.dv if sigma_v is None else float(sigma_v)
+        rho = 1.0 + amplitude * np.cos(
+            2 * np.pi * mode * self.x / self.box_size
+        )
+        gauss = np.exp(-0.5 * (self.v / sv) ** 2)
+        gauss /= gauss.sum() * self.dv
+        self.f = rho[:, None] * gauss[None, :]
+        self.time = 0.0
+        self.mass_lost = 0.0
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def density(self) -> np.ndarray:
+        """rho(x) = integral of f over v."""
+        return self.f.sum(axis=1) * self.dv
+
+    def density_contrast(self) -> np.ndarray:
+        rho = self.density()
+        return rho / rho.mean() - 1.0
+
+    def total_mass(self) -> float:
+        return float(self.f.sum() * self.dv * self.dx)
+
+    def acceleration(self) -> np.ndarray:
+        """g(x) with dg/dx = -delta (zero mean)."""
+        delta_k = np.fft.rfft(self.density_contrast())
+        return np.fft.irfft(-delta_k * self._inv_ik, n=self.nx)
+
+    # ------------------------------------------------------------------
+    # advection kernels
+    # ------------------------------------------------------------------
+    def _shift_x(self, dt: float) -> None:
+        """f(x, v) <- f(x - v dt, v): periodic linear interpolation,
+        one fractional roll per velocity column."""
+        shift = self.v * dt / self.dx  # cells, per velocity
+        idx = np.arange(self.nx)
+        base = np.floor(shift).astype(np.int64)
+        frac = shift - base
+        for j in range(self.nv):
+            src = (idx - base[j]) % self.nx
+            src_m1 = (src - 1) % self.nx
+            col = self.f[:, j]
+            self.f[:, j] = (1 - frac[j]) * col[src] + frac[j] * col[src_m1]
+
+    def _shift_v(self, dt: float) -> None:
+        """f(x, v) <- f(x, v - g(x) dt): clamped linear interpolation."""
+        g = self.acceleration()
+        shift = g * dt / self.dv
+        jdx = np.arange(self.nv, dtype=np.float64)
+        before = self.f.sum()
+        for i in range(self.nx):
+            src = jdx - shift[i]
+            self.f[i, :] = np.interp(
+                src, jdx, self.f[i, :], left=0.0, right=0.0
+            )
+        self.mass_lost += (before - self.f.sum()) * self.dv * self.dx
+
+    # ------------------------------------------------------------------
+    def step(self, dt: float) -> None:
+        """One Strang-split step."""
+        if dt <= 0:
+            raise ValueError(f"dt must be positive: {dt}")
+        self._shift_x(0.5 * dt)
+        self._shift_v(dt)
+        self._shift_x(0.5 * dt)
+        self.time += dt
+
+    def run(self, t_final: float, dt: float) -> None:
+        """Advance to ``t_final`` in steps of ``dt`` (last step shortened)."""
+        if t_final < self.time:
+            raise ValueError("t_final is in the past")
+        while self.time < t_final - 1e-12:
+            self.step(min(dt, t_final - self.time))
+
+    def mode_amplitude(self, mode: int = 1) -> float:
+        """|delta_k| of the requested spatial mode (growth tracking)."""
+        delta_k = np.fft.rfft(self.density_contrast()) / self.nx
+        return 2.0 * abs(delta_k[mode])

@@ -1,0 +1,151 @@
+"""Tests for correlation functions and Limber lensing spectra."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.correlation import pair_correlation, xi_from_power
+from repro.analysis.lensing import convergence_power, lensing_efficiency
+from repro.cosmology import WMAP7
+from repro.cosmology.halofit import HalofitPower
+
+
+class TestXiFromPower:
+    def test_positive_at_small_r(self, linear_power):
+        assert xi_from_power(linear_power, 5.0) > 0
+
+    def test_decreasing_with_r(self, linear_power):
+        xi = xi_from_power(linear_power, np.array([2.0, 8.0, 30.0]))
+        assert xi[0] > xi[1] > xi[2] > 0
+
+    def test_unity_crossing_scale(self, linear_power):
+        """xi = 1 near r ~ 5-6 Mpc/h for sigma8 = 0.8 (the classic
+        correlation length is ~5 Mpc/h in linear theory)."""
+        r = np.linspace(2.0, 12.0, 30)
+        xi = xi_from_power(linear_power, r)
+        r0 = r[np.argmin(np.abs(xi - 1.0))]
+        assert 3.0 < r0 < 9.0
+
+    def test_bao_bump(self, linear_power):
+        """The acoustic feature appears near 105 Mpc/h: xi has a local
+        maximum between 90 and 120 Mpc/h (BOSS-era science — the paper's
+        Roadrunner runs targeted exactly this)."""
+        r = np.linspace(70.0, 140.0, 36)
+        xi = xi_from_power(linear_power, r)
+        interior = xi[1:-1]
+        peaks = np.flatnonzero(
+            (interior > xi[:-2]) & (interior > xi[2:])
+        )
+        assert peaks.size >= 1
+        r_peak = r[1:-1][peaks[0]]
+        assert 90.0 < r_peak < 120.0
+
+    def test_growth_scaling(self, linear_power):
+        d = WMAP7.growth_factor(0.5)
+        xi_now = xi_from_power(linear_power, 10.0, 1.0)
+        xi_then = xi_from_power(linear_power, 10.0, 0.5)
+        assert xi_then == pytest.approx(xi_now * d * d, rel=1e-4)
+
+    def test_invalid_r(self, linear_power):
+        with pytest.raises(ValueError):
+            xi_from_power(linear_power, 0.0)
+
+
+class TestPairCorrelation:
+    def test_random_is_uncorrelated(self, rng):
+        pos = rng.uniform(0, 50.0, (8000, 3))
+        cf = pair_correlation(pos, 50.0, r_min=1.0, r_max=10.0, n_bins=6)
+        assert np.all(np.abs(cf.xi) < 0.2)
+
+    def test_clustered_has_positive_xi(self, rng):
+        centers = rng.uniform(0, 50.0, (30, 3))
+        pos = np.mod(
+            np.repeat(centers, 100, axis=0)
+            + 0.5 * rng.standard_normal((3000, 3)),
+            50.0,
+        )
+        cf = pair_correlation(pos, 50.0, r_min=0.2, r_max=5.0, n_bins=6)
+        assert cf.xi[0] > 10.0
+        assert cf.xi[0] > cf.xi[-1]
+
+    def test_pair_counts_total(self, rng):
+        """Sum of DD over all bins equals brute-force pair count in range."""
+        pos = rng.uniform(0, 20.0, (200, 3))
+        cf = pair_correlation(pos, 20.0, r_min=0.5, r_max=8.0, n_bins=5)
+        d = pos[:, None, :] - pos[None, :, :]
+        d -= 20.0 * np.round(d / 20.0)
+        r = np.sqrt((d**2).sum(-1))
+        iu = np.triu_indices(200, k=1)
+        brute = np.count_nonzero((r[iu] >= 0.5) & (r[iu] < 8.0))
+        assert cf.pair_counts.sum() == brute
+
+    def test_linear_bins(self, rng):
+        pos = rng.uniform(0, 20.0, (500, 3))
+        cf = pair_correlation(
+            pos, 20.0, r_min=1.0, r_max=6.0, n_bins=5, log_bins=False
+        )
+        assert len(cf.r) == 5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(r_min=0.0),
+            dict(r_max=15.0),  # > box/2
+            dict(r_min=5.0, r_max=2.0),
+        ],
+    )
+    def test_validation(self, rng, kwargs):
+        pos = rng.uniform(0, 20.0, (50, 3))
+        with pytest.raises(ValueError):
+            pair_correlation(pos, 20.0, **kwargs)
+
+
+class TestLensing:
+    def test_efficiency_shape(self):
+        """W(chi) vanishes at observer and source, peaks between."""
+        chi_s = WMAP7.comoving_distance(1.0)
+        w0 = lensing_efficiency(WMAP7, 0.0, chi_s)
+        ws = lensing_efficiency(WMAP7, chi_s, chi_s)
+        wm = lensing_efficiency(WMAP7, 0.45 * chi_s, chi_s)
+        assert w0 == 0.0
+        assert ws == pytest.approx(0.0, abs=1e-12)
+        assert wm > 0
+
+    def test_convergence_power_positive_and_smooth(self, linear_power):
+        ells = np.array([100.0, 300.0, 1000.0])
+        c = convergence_power(linear_power, ells, z_source=1.0)
+        assert np.all(c > 0)
+
+    def test_amplitude_order_of_magnitude(self, linear_power):
+        """ell(ell+1) C_ell / 2pi ~ 1e-5..1e-4 at ell ~ 1000 for z_s=1 —
+        the standard cosmic-shear band."""
+        ell = 1000.0
+        c = convergence_power(linear_power, ell, z_source=1.0)
+        band = ell * (ell + 1) * c / (2 * np.pi)
+        assert 1e-6 < band < 1e-3
+
+    def test_deeper_sources_lensed_more(self, linear_power):
+        ell = np.array([500.0])
+        shallow = convergence_power(linear_power, ell, z_source=0.5)
+        deep = convergence_power(linear_power, ell, z_source=1.5)
+        assert deep[0] > shallow[0]
+
+    def test_nonlinear_boost_at_high_ell(self, linear_power):
+        """HALOFIT raises the convergence power at small angular scales
+        — the accuracy-critical regime from Section I."""
+        nl = HalofitPower(linear_power)
+        ell = np.array([3000.0])
+        lin = convergence_power(linear_power, ell, z_source=1.0)
+        boosted = convergence_power(nl, ell, z_source=1.0)
+        assert boosted[0] > 1.5 * lin[0]
+
+    def test_quadrature_converged(self, linear_power):
+        ell = np.array([500.0])
+        a = convergence_power(linear_power, ell, z_source=1.0, n_chi=32)
+        b = convergence_power(linear_power, ell, z_source=1.0, n_chi=96)
+        assert a[0] == pytest.approx(b[0], rel=5e-3)
+
+    def test_validation(self, linear_power):
+        with pytest.raises(ValueError):
+            convergence_power(linear_power, 100.0, z_source=0.0)
+        with pytest.raises(ValueError):
+            convergence_power(linear_power, np.array([-10.0]))

@@ -1,0 +1,152 @@
+"""Tests for density diagnostics and snapshot I/O."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.density import (
+    density_contrast_statistics,
+    density_projection,
+    zoom_series,
+)
+from repro.core.particles import Particles
+from repro.io.snapshots import (
+    load_power_history,
+    load_snapshot,
+    save_power_history,
+    save_snapshot,
+)
+from repro.analysis.power import matter_power_spectrum
+
+
+class TestProjection:
+    def test_uniform_particles_give_flat_map(self, rng):
+        pos = rng.uniform(0, 10.0, (100000, 3))
+        m = density_projection(pos, 10.0, 8)
+        assert m.shape == (8, 8)
+        assert m.mean() == pytest.approx(1.0)
+        assert m.std() < 0.1
+
+    def test_point_mass_lands_in_one_pixel(self):
+        pos = np.array([[1.25, 3.75, 5.0]])
+        m = density_projection(pos, 10.0, 4, axis=2)
+        assert m[0, 1] > 0
+        assert np.count_nonzero(m) == 1
+
+    def test_axis_selection(self):
+        pos = np.array([[1.0, 5.0, 9.0]])
+        m0 = density_projection(pos, 10.0, 4, axis=0)  # keeps (y, z)
+        assert m0[2, 3] > 0
+
+    def test_slab_selection(self, rng):
+        pos = rng.uniform(0, 10.0, (1000, 3))
+        full = density_projection(pos, 10.0, 4)
+        slab = density_projection(pos, 10.0, 4, depth=(0.0, 1.0))
+        assert not np.allclose(full, slab)
+
+    def test_weights(self):
+        pos = np.array([[1.0, 1.0, 1.0], [6.0, 6.0, 6.0]])
+        m = density_projection(pos, 10.0, 2, weights=np.array([3.0, 1.0]))
+        assert m[0, 0] == pytest.approx(3 * m[1, 1])
+
+    @pytest.mark.parametrize("kwargs", [dict(axis=3), dict(depth=(5.0, 2.0))])
+    def test_validation(self, rng, kwargs):
+        with pytest.raises(ValueError):
+            density_projection(rng.uniform(0, 1, (5, 3)), 1.0, 4, **kwargs)
+
+
+class TestContrastStats:
+    def test_uniform_lattice(self):
+        g = np.arange(4) * 2.5
+        pos = np.stack(np.meshgrid(g, g, g, indexing="ij"), -1).reshape(-1, 3)
+        st = density_contrast_statistics(pos, 10.0, 4)
+        assert st.max_contrast == pytest.approx(0.0, abs=1e-12)
+        assert st.variance == pytest.approx(0.0, abs=1e-12)
+
+    def test_clustered_has_high_contrast(self, rng):
+        pos = np.mod(
+            np.array([5.0, 5.0, 5.0]) + 0.1 * rng.standard_normal((1000, 3)),
+            10.0,
+        )
+        st = density_contrast_statistics(pos, 10.0, 8)
+        assert st.max_contrast > 50
+        assert st.min_contrast == pytest.approx(-1.0)
+        assert st.fraction_empty > 0.9
+
+
+class TestZoomSeries:
+    def test_nested_levels(self, rng):
+        pos = rng.uniform(0, 100.0, (5000, 3))
+        levels = zoom_series(
+            pos, 100.0, np.array([50.0, 50.0, 50.0]), [100.0, 50.0, 10.0], n=16
+        )
+        assert [l.size for l in levels] == [100.0, 50.0, 10.0]
+        counts = [l.n_particles for l in levels]
+        assert counts[0] == 5000
+        assert counts[0] > counts[1] > counts[2]
+
+    def test_dynamic_range_ladder(self, rng):
+        """The ratio of outer to inner zoom is the realized dynamic range
+        — the Fig. 2 construction."""
+        pos = rng.uniform(0, 100.0, (1000, 3))
+        levels = zoom_series(
+            pos, 100.0, np.array([50, 50, 50.0]), [100.0, 1.0], n=8
+        )
+        assert levels[0].size / levels[-1].size == pytest.approx(100.0)
+
+    def test_zoom_across_periodic_seam(self, rng):
+        pos = np.mod(0.5 * rng.standard_normal((500, 3)), 100.0)
+        levels = zoom_series(
+            pos, 100.0, np.array([0.0, 0.0, 0.0]), [4.0], n=8
+        )
+        assert levels[0].n_particles == 500
+
+    def test_invalid_size(self, rng):
+        with pytest.raises(ValueError):
+            zoom_series(
+                rng.uniform(0, 1, (10, 3)), 1.0, np.zeros(3), [2.0]
+            )
+
+
+class TestSnapshotIO:
+    def test_roundtrip(self, tmp_path, rng):
+        p = Particles.uniform_random(50, 10.0, seed=1)
+        p.momenta[:] = rng.standard_normal((50, 3))
+        path = save_snapshot(tmp_path / "snap", p, a=0.5, metadata={"z": 1.0})
+        q, a, meta = load_snapshot(path)
+        assert a == 0.5
+        assert meta["z"] == 1.0
+        assert np.array_equal(q.positions, p.positions)
+        assert np.array_equal(q.momenta, p.momenta)
+        assert q.box_size == 10.0
+
+    def test_subsample(self, tmp_path):
+        p = Particles.uniform_random(100, 10.0)
+        path = save_snapshot(tmp_path / "s", p, a=1.0, subsample=4)
+        q, _, _ = load_snapshot(path)
+        assert q.n == 25
+        assert np.array_equal(q.ids, p.ids[::4])
+
+    def test_validation(self, tmp_path):
+        p = Particles.uniform_random(10, 10.0)
+        with pytest.raises(ValueError):
+            save_snapshot(tmp_path / "s", p, a=0.0)
+        with pytest.raises(ValueError):
+            save_snapshot(tmp_path / "s", p, a=1.0, subsample=0)
+
+    def test_power_history_roundtrip(self, tmp_path, rng):
+        pos = rng.uniform(0, 10.0, (500, 3))
+        ps1 = matter_power_spectrum(pos, 10.0, 8)
+        ps2 = matter_power_spectrum(pos, 10.0, 16)
+        path = save_power_history(
+            tmp_path / "hist", [5.0, 0.0], [ps1, ps2], metadata={"run": "x"}
+        )
+        z, records = load_power_history(path)
+        assert np.array_equal(z, [5.0, 0.0])
+        assert np.array_equal(records[0]["k"], ps1.k)
+        assert np.array_equal(records[1]["power"], ps2.power)
+
+    def test_power_history_length_mismatch(self, tmp_path, rng):
+        pos = rng.uniform(0, 10.0, (100, 3))
+        ps = matter_power_spectrum(pos, 10.0, 8)
+        with pytest.raises(ValueError):
+            save_power_history(tmp_path / "h", [1.0, 2.0], [ps])

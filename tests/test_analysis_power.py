@@ -1,0 +1,121 @@
+"""Tests for the power-spectrum estimator."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.power import matter_power_spectrum, power_from_delta
+from repro.cosmology.gaussian_field import GaussianRandomField
+
+
+class TestPowerFromDelta:
+    def test_single_mode(self):
+        """A pure cosine carries P = A^2 V / 4 at its wavenumber... but
+        the estimator bins; check total variance via Parseval instead:
+        sum of P(k) over modes / V equals field variance."""
+        n, box = 32, 64.0
+        x = np.arange(n) * (box / n)
+        delta = 0.1 * np.cos(2 * np.pi * 3 * x / box)[:, None, None] * np.ones(
+            (1, n, n)
+        )
+        ps = power_from_delta(delta, box)
+        kf = 2 * np.pi / box
+        # power concentrated in the bin containing 3 kf
+        peak_bin = np.argmax(ps.power)
+        assert abs(ps.k[peak_bin] - 3 * kf) < kf
+
+    def test_parseval_total_variance(self, rng):
+        n, box = 16, 32.0
+        delta = rng.standard_normal((n, n, n))
+        delta -= delta.mean()
+        ps = power_from_delta(delta, box, n_bins=200, k_max=1e3)
+        total = np.sum(ps.power * ps.n_modes) / box**3
+        assert total == pytest.approx(delta.var() * 1.0, rel=1e-6)
+
+    def test_white_noise_flat(self, rng):
+        n, box = 32, 32.0
+        grf = GaussianRandomField(n, box, lambda k: 0 * k + 5.0, seed=2)
+        ps = power_from_delta(grf.realize(), box)
+        err = np.sqrt(2.0 / ps.n_modes)
+        pull = (ps.power - 5.0) / (5.0 * err)
+        assert np.abs(np.mean(pull)) < 1.0
+
+    def test_shot_noise_subtracted(self, rng):
+        n, box = 16, 16.0
+        delta = rng.standard_normal((n, n, n))
+        delta -= delta.mean()
+        a = power_from_delta(delta, box)
+        b = power_from_delta(delta, box, shot_noise=1.5)
+        assert np.allclose(a.power - b.power, 1.5)
+
+    def test_deconvolution_raises_high_k(self, rng):
+        n, box = 16, 16.0
+        delta = rng.standard_normal((n, n, n))
+        delta -= delta.mean()
+        raw = power_from_delta(delta, box)
+        dec = power_from_delta(delta, box, deconvolve_cic=True)
+        assert dec.power[-1] > raw.power[-1]
+        assert dec.power[0] == pytest.approx(raw.power[0], rel=0.05)
+
+    def test_dimensionless(self, rng):
+        delta = rng.standard_normal((8, 8, 8))
+        delta -= delta.mean()
+        ps = power_from_delta(delta, 8.0)
+        assert np.allclose(
+            ps.dimensionless(), ps.k**3 * ps.power / (2 * np.pi**2)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            power_from_delta(np.zeros((4, 4, 5)), 1.0)
+        with pytest.raises(ValueError):
+            power_from_delta(np.zeros((4, 4, 4)), 0.0)
+
+
+class TestMatterPowerSpectrum:
+    def test_poisson_sample_recovers_shot_noise(self, rng):
+        """Random particles have pure shot noise: subtracting it leaves
+        ~0; not subtracting leaves ~V/N."""
+        n, box, npart = 16, 64.0, 5000
+        pos = rng.uniform(0, box, (npart, 3))
+        raw = matter_power_spectrum(pos, box, n, subtract_shot_noise=False)
+        sub = matter_power_spectrum(pos, box, n, subtract_shot_noise=True)
+        shot = box**3 / npart
+        low = slice(0, 4)
+        assert np.mean(raw.power[low]) == pytest.approx(shot, rel=0.4)
+        assert abs(np.mean(sub.power[low])) < 0.4 * shot
+
+    def test_lattice_is_sub_shot_noise(self):
+        """A perfect lattice has essentially zero power below the
+        Nyquist frequency of the lattice — why shot-noise subtraction
+        must be off for early Zel'dovich snapshots."""
+        n = 16
+        box = 32.0
+        g = np.arange(n) * (box / n)
+        pos = np.stack(
+            np.meshgrid(g, g, g, indexing="ij"), axis=-1
+        ).reshape(-1, 3)
+        ps = matter_power_spectrum(pos, box, n, subtract_shot_noise=False)
+        assert np.all(ps.power[:-1] < 1e-10 * box**3 / len(pos))
+
+    def test_clustered_exceeds_random(self, rng):
+        box, n = 32.0, 16
+        centers = rng.uniform(0, box, (10, 3))
+        clustered = np.concatenate(
+            [c + rng.standard_normal((200, 3)) for c in centers]
+        )
+        clustered = np.mod(clustered, box)
+        random = rng.uniform(0, box, (2000, 3))
+        pc = matter_power_spectrum(clustered, box, n)
+        pr = matter_power_spectrum(random, box, n)
+        assert pc.power[0] > 10 * abs(pr.power[0])
+
+    def test_weights_supported(self, rng):
+        box = 16.0
+        pos = rng.uniform(0, box, (500, 3))
+        w = rng.uniform(0.5, 2.0, 500)
+        ps = matter_power_spectrum(pos, box, 8, weights=w)
+        assert np.all(np.isfinite(ps.power))
+
+    def test_empty_rejected(self):
+        with pytest.raises((ValueError, ZeroDivisionError, IndexError)):
+            matter_power_spectrum(np.zeros((0, 3)), 8.0, 8)

@@ -1,0 +1,141 @@
+"""Tests for SimulationConfig and the SOA particle container."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.core.particles import Particles
+from repro.cosmology import WMAP7, make_initial_conditions
+
+
+class TestSimulationConfig:
+    def test_defaults(self):
+        cfg = SimulationConfig(box_size=100.0, n_per_dim=16)
+        assert cfg.grid() == 16
+        assert cfg.n_particles == 4096
+        assert cfg.backend == "treepm"
+        assert cfg.a_initial == pytest.approx(1 / 26)
+        assert cfg.a_final == 1.0
+
+    def test_explicit_grid(self):
+        cfg = SimulationConfig(box_size=100.0, n_per_dim=16, grid_size=32)
+        assert cfg.grid() == 32
+        assert cfg.spacing() == pytest.approx(100.0 / 32)
+
+    def test_rcut(self):
+        cfg = SimulationConfig(box_size=96.0, n_per_dim=32)
+        assert cfg.rcut() == pytest.approx(3.0 * 3.0)
+
+    def test_step_edges_linear(self):
+        cfg = SimulationConfig(box_size=100.0, n_per_dim=16, n_steps=4)
+        edges = cfg.step_edges()
+        assert len(edges) == 5
+        assert edges[0] == pytest.approx(cfg.a_initial)
+        assert edges[-1] == pytest.approx(1.0)
+        assert np.allclose(np.diff(edges), np.diff(edges)[0])
+
+    def test_step_edges_log(self):
+        cfg = SimulationConfig(
+            box_size=100.0, n_per_dim=16, n_steps=4, step_spacing="loga"
+        )
+        edges = cfg.step_edges()
+        ratios = edges[1:] / edges[:-1]
+        assert np.allclose(ratios, ratios[0])
+
+    def test_with_copies(self):
+        cfg = SimulationConfig(box_size=100.0, n_per_dim=16)
+        cfg2 = cfg.with_(n_steps=7)
+        assert cfg2.n_steps == 7
+        assert cfg.n_steps != 7
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(box_size=0.0),
+            dict(n_per_dim=1),
+            dict(z_initial=1.0, z_final=2.0),
+            dict(z_final=-0.5),
+            dict(n_steps=0),
+            dict(n_subcycles=0),
+            dict(backend="gadget"),
+            dict(step_spacing="t"),
+            dict(rcut_cells=0.0),
+            dict(lpt_order=3),
+            dict(n_per_dim=4),  # rcut 3/4 of box: too large
+        ],
+    )
+    def test_validation(self, kwargs):
+        base = dict(box_size=100.0, n_per_dim=16)
+        with pytest.raises(ValueError):
+            SimulationConfig(**{**base, **kwargs})
+
+
+class TestParticles:
+    def test_from_ics(self):
+        ics = make_initial_conditions(
+            WMAP7, n_per_dim=4, box_size=10.0, z_init=25.0
+        )
+        p = Particles.from_ics(ics)
+        assert p.n == 64
+        assert np.all(p.masses == 1.0)
+        assert np.array_equal(p.ids, np.arange(64))
+
+    def test_uniform_random_reproducible(self):
+        a = Particles.uniform_random(10, 5.0, seed=1)
+        b = Particles.uniform_random(10, 5.0, seed=1)
+        assert np.array_equal(a.positions, b.positions)
+
+    def test_wrap(self):
+        p = Particles.uniform_random(5, 10.0, seed=0)
+        p.positions[0] = [12.0, -3.0, 5.0]
+        p.wrap()
+        assert np.allclose(p.positions[0], [2.0, 7.0, 5.0])
+
+    def test_kinetic_energy_scaling(self):
+        p = Particles.uniform_random(10, 5.0, seed=0)
+        p.momenta[:] = 1.0
+        # v = p/a: KE at a=0.5 is 4x KE at a=1
+        assert p.kinetic_energy(0.5) == pytest.approx(4 * p.kinetic_energy(1.0))
+
+    def test_kinetic_energy_validates_a(self):
+        p = Particles.uniform_random(2, 5.0)
+        with pytest.raises(ValueError):
+            p.kinetic_energy(0.0)
+
+    def test_rms_displacement_periodic(self):
+        p = Particles.uniform_random(3, 10.0, seed=0)
+        ref = p.positions.copy()
+        p.positions[:] = np.mod(ref + 9.5, 10.0)  # -0.5 shift periodically
+        d = p.rms_displacement(ref)
+        assert d == pytest.approx(np.sqrt(3 * 0.25), rel=1e-9)
+
+    def test_copy_is_deep(self):
+        p = Particles.uniform_random(4, 5.0)
+        q = p.copy()
+        q.positions[0, 0] = 99.0
+        assert p.positions[0, 0] != 99.0
+
+    @pytest.mark.parametrize(
+        "field,shape",
+        [
+            ("positions", (3, 2)),
+            ("momenta", (4, 3)),
+            ("masses", (4,)),
+            ("ids", (5,)),
+        ],
+    )
+    def test_shape_validation(self, field, shape):
+        good = dict(
+            positions=np.zeros((3, 3)),
+            momenta=np.zeros((3, 3)),
+            masses=np.ones(3),
+            ids=np.arange(3),
+            box_size=1.0,
+        )
+        good[field] = np.zeros(shape)
+        if field == "positions":
+            with pytest.raises(ValueError):
+                Particles(**good)
+        else:
+            with pytest.raises(ValueError):
+                Particles(**good)

@@ -1,0 +1,178 @@
+"""Tests for Gaussian random fields and Zel'dovich/2LPT initial conditions."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.power import power_from_delta, matter_power_spectrum
+from repro.cosmology.background import WMAP7
+from repro.cosmology.gaussian_field import GaussianRandomField, fourier_grid
+from repro.cosmology.initial_conditions import make_initial_conditions
+
+
+class TestFourierGrid:
+    def test_shapes_rfft(self):
+        kx, ky, kz = fourier_grid(16, 100.0)
+        assert kx.shape == (16, 1, 1)
+        assert ky.shape == (1, 16, 1)
+        assert kz.shape == (1, 1, 9)
+
+    def test_shapes_full(self):
+        _, _, kz = fourier_grid(16, 100.0, rfft=False)
+        assert kz.shape == (1, 1, 16)
+
+    def test_fundamental_mode(self):
+        kx, _, _ = fourier_grid(8, 100.0)
+        assert kx[1, 0, 0] == pytest.approx(2 * np.pi / 100.0)
+
+    def test_nyquist(self):
+        _, _, kz = fourier_grid(8, 100.0)
+        assert kz[0, 0, -1] == pytest.approx(np.pi * 8 / 100.0)
+
+    @pytest.mark.parametrize("bad", [(1, 100.0), (8, 0.0), (8, -5.0)])
+    def test_invalid_inputs(self, bad):
+        with pytest.raises(ValueError):
+            fourier_grid(*bad)
+
+
+class TestGaussianRandomField:
+    def test_field_is_real_and_mean_free(self):
+        grf = GaussianRandomField(16, 100.0, lambda k: 0 * k + 10.0, seed=1)
+        delta = grf.realize()
+        assert delta.dtype == np.float64
+        assert abs(delta.mean()) < 1e-12
+
+    def test_reproducible(self):
+        kwargs = dict(n=16, box_size=50.0, power=lambda k: 0 * k + 1.0)
+        a = GaussianRandomField(seed=3, **kwargs).realize()
+        b = GaussianRandomField(seed=3, **kwargs).realize()
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_realization(self):
+        kwargs = dict(n=16, box_size=50.0, power=lambda k: 0 * k + 1.0)
+        a = GaussianRandomField(seed=3, **kwargs).realize()
+        b = GaussianRandomField(seed=4, **kwargs).realize()
+        assert not np.allclose(a, b)
+
+    def test_power_spectrum_roundtrip(self, linear_power):
+        """Estimator recovers the input spectrum within sample variance."""
+        n, box = 32, 400.0
+        grf = GaussianRandomField(n, box, lambda k: linear_power(k), seed=9)
+        delta = grf.realize()
+        ps = power_from_delta(delta, box)
+        expected = linear_power(ps.k)
+        # relative sample error per bin ~ sqrt(2/n_modes)
+        err = np.sqrt(2.0 / ps.n_modes)
+        pull = (ps.power - expected) / (expected * err)
+        assert np.mean(np.abs(pull)) < 2.0
+
+    def test_variance_scales_with_power(self):
+        lo = GaussianRandomField(16, 50.0, lambda k: 0 * k + 1.0, seed=5)
+        hi = GaussianRandomField(16, 50.0, lambda k: 0 * k + 4.0, seed=5)
+        assert hi.realize().var() == pytest.approx(4 * lo.realize().var())
+
+    def test_amplitude_zero_mode_removed(self):
+        grf = GaussianRandomField(8, 10.0, lambda k: 0 * k + 1.0)
+        assert grf.amplitude_k()[0, 0, 0] == 0.0
+
+    def test_negative_power_clipped(self):
+        grf = GaussianRandomField(8, 10.0, lambda k: 0 * k - 1.0, seed=0)
+        assert np.all(np.isfinite(grf.realize()))
+
+
+class TestInitialConditions:
+    def test_shapes_and_bounds(self):
+        ics = make_initial_conditions(
+            WMAP7, n_per_dim=8, box_size=100.0, z_init=25.0, seed=1
+        )
+        assert ics.positions.shape == (512, 3)
+        assert ics.momenta.shape == (512, 3)
+        assert np.all(ics.positions >= 0)
+        assert np.all(ics.positions < 100.0)
+        assert ics.a_init == pytest.approx(1 / 26)
+
+    def test_displacements_small_at_high_z(self):
+        ics = make_initial_conditions(
+            WMAP7, n_per_dim=8, box_size=100.0, z_init=200.0, seed=1
+        )
+        spacing = 100.0 / 8
+        lattice = np.arange(8) * spacing
+        qx, qy, qz = np.meshgrid(lattice, lattice, lattice, indexing="ij")
+        q = np.stack([qx.ravel(), qy.ravel(), qz.ravel()], axis=1)
+        d = ics.positions - q
+        d -= 100.0 * np.round(d / 100.0)
+        assert np.sqrt((d**2).sum(1)).max() < spacing
+
+    def test_momenta_scale_with_growth(self):
+        """p = a^2 E f D psi: the z=200 start has much colder momenta."""
+        hot = make_initial_conditions(
+            WMAP7, n_per_dim=8, box_size=100.0, z_init=25.0, seed=2
+        )
+        cold = make_initial_conditions(
+            WMAP7, n_per_dim=8, box_size=100.0, z_init=200.0, seed=2
+        )
+        assert cold.momenta.std() < hot.momenta.std()
+
+    def test_ic_power_matches_linear_theory(self, linear_power):
+        n, box = 32, 300.0
+        ics = make_initial_conditions(
+            WMAP7,
+            n_per_dim=n,
+            box_size=box,
+            z_init=25.0,
+            seed=11,
+            power=linear_power,
+        )
+        ps = matter_power_spectrum(
+            ics.positions, box, n, subtract_shot_noise=False
+        )
+        d = WMAP7.growth_factor(ics.a_init)
+        expected = linear_power(ps.k) * d * d
+        # compare the low-k third of the bins (Zel'dovich is linear there)
+        m = len(ps.k) // 3
+        ratio = ps.power[:m] / expected[:m]
+        assert np.all(ratio > 0.6)
+        assert np.all(ratio < 1.6)
+        assert np.mean(ratio) == pytest.approx(1.0, abs=0.2)
+
+    def test_momenta_align_with_growing_mode(self):
+        """Momenta parallel to displacements (growing mode, not decaying)."""
+        ics = make_initial_conditions(
+            WMAP7, n_per_dim=8, box_size=100.0, z_init=25.0, seed=3
+        )
+        spacing = 100.0 / 8
+        lattice = np.arange(8) * spacing
+        qx, qy, qz = np.meshgrid(lattice, lattice, lattice, indexing="ij")
+        q = np.stack([qx.ravel(), qy.ravel(), qz.ravel()], axis=1)
+        d = ics.positions - q
+        d -= 100.0 * np.round(d / 100.0)
+        cos = np.einsum("ij,ij->i", d, ics.momenta) / (
+            np.linalg.norm(d, axis=1) * np.linalg.norm(ics.momenta, axis=1)
+        )
+        assert np.all(cos > 0.999)
+
+    def test_2lpt_close_to_zeldovich_at_high_z(self):
+        za = make_initial_conditions(
+            WMAP7, n_per_dim=8, box_size=100.0, z_init=100.0, seed=4, order=1
+        )
+        two = make_initial_conditions(
+            WMAP7, n_per_dim=8, box_size=100.0, z_init=100.0, seed=4, order=2
+        )
+        d = za.positions - two.positions
+        d -= 100.0 * np.round(d / 100.0)
+        # 2LPT correction is second order in the (tiny) displacement
+        assert np.abs(d).max() < 0.05 * (100.0 / 8)
+
+    def test_2lpt_differs_at_low_z(self):
+        za = make_initial_conditions(
+            WMAP7, n_per_dim=8, box_size=100.0, z_init=5.0, seed=4, order=1
+        )
+        two = make_initial_conditions(
+            WMAP7, n_per_dim=8, box_size=100.0, z_init=5.0, seed=4, order=2
+        )
+        assert not np.allclose(za.positions, two.positions)
+
+    @pytest.mark.parametrize("kwargs", [{"order": 3}, {"z_init": 0.0}, {"z_init": -1.0}])
+    def test_invalid_inputs(self, kwargs):
+        base = dict(n_per_dim=8, box_size=100.0)
+        with pytest.raises(ValueError):
+            make_initial_conditions(WMAP7, **{**base, **kwargs})

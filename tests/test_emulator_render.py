@@ -1,0 +1,199 @@
+"""Tests for the P(k) emulator and the density-field renderer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.render import (
+    COLORMAPS,
+    apply_colormap,
+    log_stretch,
+    read_ppm,
+    render_density,
+    write_ppm,
+)
+from repro.cosmology.emulator import (
+    ParameterBox,
+    PowerSpectrumEmulator,
+    latin_hypercube,
+)
+
+
+class TestLatinHypercube:
+    def test_stratification(self):
+        """Exactly one point per stratum per dimension — the defining
+        property."""
+        n = 16
+        pts = latin_hypercube(n, 3, seed=2)
+        for d in range(3):
+            strata = np.floor(pts[:, d] * n).astype(int)
+            assert np.array_equal(np.sort(strata), np.arange(n))
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            latin_hypercube(8, 2, seed=5), latin_hypercube(8, 2, seed=5)
+        )
+
+    def test_in_unit_cube(self):
+        pts = latin_hypercube(20, 4, seed=0)
+        assert np.all(pts > 0) and np.all(pts < 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            latin_hypercube(1, 3)
+
+
+class TestParameterBox:
+    def test_normalize_roundtrip(self):
+        box = ParameterBox()
+        p = np.array([0.27, 0.8, -1.0])
+        assert np.allclose(box.denormalize(box.normalize(p)), p)
+
+    def test_contains(self):
+        box = ParameterBox()
+        assert box.contains(np.array([0.27, 0.8, -1.0]))
+        assert not box.contains(np.array([0.5, 0.8, -1.0]))
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterBox(omega_m=(0.3, 0.3))
+
+
+class TestEmulator:
+    """One emulator instance per module: training runs the forward model
+    24 times (~15 s with HALOFIT)."""
+
+    @pytest.fixture(scope="class")
+    def emulator(self):
+        return PowerSpectrumEmulator(n_design=20, seed=3)
+
+    def test_training_residual_subpercent(self, emulator):
+        assert emulator.training_rms.max() < 0.02
+
+    def test_validation_error_percent_level(self, emulator):
+        """The Cosmic Calibration accuracy class: ~1% on P(k)."""
+        errs = emulator.validate(n_test=4, seed=7)
+        assert errs.max() < 0.03
+
+    def test_reproduces_design_point(self, emulator):
+        params = emulator.design[0]
+        pred = emulator(*params)
+        true = emulator.truth(*params)
+        assert np.allclose(np.log(pred), np.log(true), atol=0.02)
+
+    def test_sensitivity_directions(self, emulator):
+        """More sigma8 -> more power; the headline parameter degeneracy
+        directions have the right signs."""
+        lo = emulator(0.27, 0.72, -1.0)
+        hi = emulator(0.27, 0.88, -1.0)
+        assert np.all(hi > lo)
+
+    def test_out_of_box_rejected(self, emulator):
+        with pytest.raises(ValueError):
+            emulator(0.5, 0.8, -1.0)
+
+    def test_speedup_is_large(self, emulator):
+        """The emulator's reason to exist: orders of magnitude faster
+        than the forward model."""
+        import time
+
+        t0 = time.perf_counter()
+        for _ in range(20):
+            emulator(0.27, 0.8, -1.0)
+        emulated = (time.perf_counter() - t0) / 20
+        t0 = time.perf_counter()
+        emulator.truth(0.27, 0.8, -1.0)
+        forward = time.perf_counter() - t0
+        assert forward / emulated > 100
+
+    def test_design_size_validated(self):
+        with pytest.raises(ValueError):
+            PowerSpectrumEmulator(n_design=5)
+
+    def test_custom_forward_model(self):
+        """Pluggable forward model (the simulate-instead-of-halofit hook)."""
+        calls = []
+
+        def toy(cosmology, k):
+            calls.append(cosmology.sigma8)
+            return cosmology.sigma8**2 * k**-1.5
+
+        em = PowerSpectrumEmulator(
+            n_design=12, forward=toy, k=np.array([0.1, 1.0]), seed=4
+        )
+        assert len(calls) == 12
+        pred = em(0.27, 0.8, -1.0)
+        assert np.allclose(pred, 0.8**2 * np.array([0.1, 1.0]) ** -1.5, rtol=0.02)
+
+
+class TestRender:
+    def test_log_stretch_bounds(self, rng):
+        field = rng.uniform(0, 100, (16, 16))
+        out = log_stretch(field)
+        assert out.min() >= 0 and out.max() <= 1
+        assert out.max() == pytest.approx(1.0)
+
+    def test_log_stretch_monotone(self):
+        field = np.array([[0.1, 1.0, 10.0, 100.0]])
+        out = log_stretch(field)
+        assert np.all(np.diff(out[0]) > 0)
+
+    def test_log_stretch_shared_vmax(self):
+        """Frames locked to one scale (the Fig. 9 ladder requirement)."""
+        a = np.array([[1.0, 10.0]])
+        out = log_stretch(a, vmax=100.0)
+        assert out[0, 1] < 1.0
+
+    def test_log_stretch_validation(self):
+        with pytest.raises(ValueError):
+            log_stretch(np.array([[-1.0]]))
+        with pytest.raises(ValueError):
+            log_stretch(np.array([[1.0]]), floor=0.0)
+
+    def test_colormap_endpoints(self):
+        rgb = apply_colormap(np.array([[0.0, 1.0]]), "gray")
+        assert tuple(rgb[0, 0]) == (0, 0, 0)
+        assert tuple(rgb[0, 1]) == (255, 255, 255)
+
+    def test_all_colormaps_valid(self):
+        x = np.linspace(0, 1, 32).reshape(4, 8)
+        for name in COLORMAPS:
+            rgb = apply_colormap(x, name)
+            assert rgb.shape == (4, 8, 3)
+            assert rgb.dtype == np.uint8
+
+    def test_colormap_validation(self):
+        with pytest.raises(ValueError):
+            apply_colormap(np.zeros((2, 2)), "viridis")
+        with pytest.raises(ValueError):
+            apply_colormap(np.full((2, 2), 1.5), "gray")
+
+    def test_ppm_roundtrip(self, tmp_path, rng):
+        img = rng.integers(0, 256, (12, 20, 3), dtype=np.uint8)
+        path = write_ppm(tmp_path / "frame", img)
+        assert path.suffix == ".ppm"
+        back = read_ppm(path)
+        assert np.array_equal(back, img)
+
+    def test_ppm_header_exact(self, tmp_path):
+        img = np.zeros((2, 3, 3), dtype=np.uint8)
+        path = write_ppm(tmp_path / "t.ppm", img)
+        raw = path.read_bytes()
+        assert raw.startswith(b"P6\n3 2\n255\n")
+        assert len(raw) == len(b"P6\n3 2\n255\n") + 18
+
+    def test_ppm_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_ppm(tmp_path / "x", np.zeros((2, 2)))
+        bad = tmp_path / "bad.ppm"
+        bad.write_bytes(b"P3\n1 1\n255\n000")
+        with pytest.raises(ValueError):
+            read_ppm(bad)
+
+    def test_render_density_end_to_end(self, tmp_path, rng):
+        from repro.analysis.density import density_projection
+
+        pos = rng.uniform(0, 10.0, (5000, 3))
+        proj = density_projection(pos, 10.0, 32)
+        img = render_density(proj)
+        assert img.shape == (32, 32, 3)
+        write_ppm(tmp_path / "density", img)

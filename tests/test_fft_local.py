@@ -1,0 +1,102 @@
+"""Tests for the from-scratch sequential FFT (mixed-radix + Bluestein)."""
+
+import numpy as np
+import pytest
+
+from repro.fft.local import (
+    SequentialFFT,
+    fft1d,
+    ifft1d,
+    smallest_prime_factor,
+)
+
+
+class TestSmallestPrimeFactor:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(2, 2), (3, 3), (4, 2), (9, 3), (15, 3), (49, 7), (97, 97), (121, 11)],
+    )
+    def test_values(self, n, expected):
+        assert smallest_prime_factor(n) == expected
+
+    def test_rejects_below_two(self):
+        with pytest.raises(ValueError):
+            smallest_prime_factor(1)
+
+
+class TestAgainstNumpy:
+    #: power-of-two, composite, odd, prime (direct), large prime
+    #: (Bluestein), and the paper's non-power-of-two grid sizes scaled down
+    LENGTHS = [1, 2, 3, 4, 5, 8, 12, 15, 16, 27, 31, 37, 64, 97, 100, 128,
+               121, 160, 200, 360, 640, 922]
+
+    @pytest.mark.parametrize("n", LENGTHS)
+    def test_forward_complex(self, n, rng):
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        assert np.allclose(fft1d(x), np.fft.fft(x), atol=1e-9 * max(n, 1))
+
+    @pytest.mark.parametrize("n", LENGTHS)
+    def test_inverse_complex(self, n, rng):
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        assert np.allclose(ifft1d(x), np.fft.ifft(x), atol=1e-9)
+
+    @pytest.mark.parametrize("n", [8, 15, 97])
+    def test_real_input(self, n, rng):
+        x = rng.standard_normal(n)
+        assert np.allclose(fft1d(x), np.fft.fft(x), atol=1e-9)
+
+    def test_roundtrip(self, rng):
+        x = rng.standard_normal(360) + 1j * rng.standard_normal(360)
+        assert np.allclose(ifft1d(fft1d(x)), x, atol=1e-9)
+
+    def test_batched_rows(self, rng):
+        x = rng.standard_normal((7, 48)) + 1j * rng.standard_normal((7, 48))
+        assert np.allclose(fft1d(x), np.fft.fft(x, axis=-1), atol=1e-9)
+
+    def test_axis_argument(self, rng):
+        x = rng.standard_normal((12, 5, 6))
+        for ax in range(3):
+            assert np.allclose(
+                fft1d(x, axis=ax), np.fft.fft(x, axis=ax), atol=1e-9
+            )
+
+    def test_linearity(self, rng):
+        a = rng.standard_normal(30) + 1j * rng.standard_normal(30)
+        b = rng.standard_normal(30)
+        lhs = fft1d(2.0 * a + 3.0 * b)
+        rhs = 2.0 * fft1d(a) + 3.0 * fft1d(b)
+        assert np.allclose(lhs, rhs, atol=1e-9)
+
+    def test_parseval(self, rng):
+        x = rng.standard_normal(128)
+        xk = fft1d(x)
+        assert np.sum(np.abs(x) ** 2) == pytest.approx(
+            np.sum(np.abs(xk) ** 2) / 128, rel=1e-10
+        )
+
+    def test_delta_function_is_flat(self):
+        x = np.zeros(20)
+        x[0] = 1.0
+        assert np.allclose(fft1d(x), np.ones(20))
+
+
+class TestSequentialFFT:
+    def test_backends_agree(self, rng):
+        x = rng.standard_normal((3, 40)) + 1j * rng.standard_normal((3, 40))
+        native = SequentialFFT("native")
+        fast = SequentialFFT("numpy")
+        assert np.allclose(native.fft(x), fast.fft(x), atol=1e-9)
+        assert np.allclose(native.ifft(x), fast.ifft(x), atol=1e-9)
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            SequentialFFT("fftw")
+
+    def test_flop_count(self):
+        f = SequentialFFT()
+        assert f.flops(1024) == pytest.approx(5 * 1024 * 10)
+        assert f.flops(1024, batch=3) == pytest.approx(3 * 5 * 1024 * 10)
+
+    def test_flops_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            SequentialFFT().flops(0)

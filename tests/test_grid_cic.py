@@ -1,0 +1,129 @@
+"""Tests for CIC deposit/interpolation."""
+
+import numpy as np
+import pytest
+
+from repro.grid.cic import (
+    cic_deposit,
+    cic_interpolate,
+    cic_window,
+    density_contrast,
+)
+
+
+class TestDeposit:
+    def test_mass_conservation(self, rng):
+        pos = rng.uniform(0, 37.0, (1234, 3))
+        grid = cic_deposit(pos, 16, 37.0)
+        assert grid.sum() == pytest.approx(1234.0, rel=1e-12)
+
+    def test_weighted_mass_conservation(self, rng):
+        pos = rng.uniform(0, 10.0, (100, 3))
+        w = rng.uniform(0, 2, 100)
+        grid = cic_deposit(pos, 8, 10.0, weights=w)
+        assert grid.sum() == pytest.approx(w.sum(), rel=1e-12)
+
+    def test_particle_at_grid_point(self):
+        """A particle exactly on a grid point deposits all its mass there."""
+        grid = cic_deposit(np.array([[2.5, 5.0, 7.5]]), 4, 10.0)
+        assert grid[1, 2, 3] == pytest.approx(1.0)
+        assert grid.sum() == pytest.approx(1.0)
+
+    def test_particle_at_cell_center_splits_eight_ways(self):
+        grid = cic_deposit(np.array([[1.25, 1.25, 1.25]]), 4, 10.0)
+        corners = grid[grid > 0]
+        assert len(corners) == 8
+        assert np.allclose(corners, 0.125)
+
+    def test_periodic_wrap_in_deposit(self):
+        """A particle near the high face deposits onto the low face."""
+        grid = cic_deposit(np.array([[9.9, 0.0, 0.0]]), 4, 10.0)
+        assert grid[0, 0, 0] > 0  # wrapped contribution
+        assert grid[3, 0, 0] > 0
+
+    def test_positions_outside_box_wrapped(self):
+        a = cic_deposit(np.array([[12.5, 5.0, 5.0]]), 4, 10.0)
+        b = cic_deposit(np.array([[2.5, 5.0, 5.0]]), 4, 10.0)
+        assert np.allclose(a, b)
+
+    def test_uniform_lattice_gives_uniform_grid(self):
+        n = 4
+        x = np.arange(n) * 2.5
+        g = np.stack(np.meshgrid(x, x, x, indexing="ij"), axis=-1).reshape(-1, 3)
+        grid = cic_deposit(g, n, 10.0)
+        assert np.allclose(grid, 1.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(positions=np.zeros((3, 2)), n=4, box_size=1.0),
+            dict(positions=np.zeros((3, 3)), n=1, box_size=1.0),
+            dict(positions=np.zeros((3, 3)), n=4, box_size=0.0),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            cic_deposit(**kwargs)
+
+    def test_weights_length_checked(self):
+        with pytest.raises(ValueError):
+            cic_deposit(np.zeros((3, 3)), 4, 1.0, weights=np.ones(2))
+
+
+class TestInterpolate:
+    def test_constant_field_exact(self, rng):
+        grid = np.full((8, 8, 8), 3.5)
+        pos = rng.uniform(0, 20.0, (50, 3))
+        assert np.allclose(cic_interpolate(grid, pos, 20.0), 3.5)
+
+    def test_linear_field_reproduced_mid_cell(self):
+        """CIC is exact for fields linear in one coordinate (interior)."""
+        n, box = 16, 16.0
+        x = np.arange(n)
+        grid = np.broadcast_to(x[:, None, None], (n, n, n)).astype(float)
+        pts = np.array([[4.5, 8.0, 8.0], [7.25, 3.0, 12.0]])
+        vals = cic_interpolate(grid, pts, box)
+        assert vals[0] == pytest.approx(4.5)
+        assert vals[1] == pytest.approx(7.25)
+
+    def test_adjointness(self, rng):
+        """<deposit(p), g> == <w, interpolate(g, p)> — the property that
+        makes the PM force momentum conserving."""
+        n, box = 8, 10.0
+        pos = rng.uniform(0, box, (40, 3))
+        w = rng.uniform(0.5, 2.0, 40)
+        g = rng.standard_normal((n, n, n))
+        lhs = np.sum(cic_deposit(pos, n, box, w) * g)
+        rhs = np.sum(w * cic_interpolate(g, pos, box))
+        assert lhs == pytest.approx(rhs, rel=1e-12)
+
+    def test_noncubic_grid_rejected(self):
+        with pytest.raises(ValueError):
+            cic_interpolate(np.zeros((4, 4, 5)), np.zeros((1, 3)), 1.0)
+
+
+class TestDensityContrast:
+    def test_zero_mean(self, rng):
+        pos = rng.uniform(0, 10.0, (500, 3))
+        delta = density_contrast(pos, 8, 10.0)
+        assert abs(delta.mean()) < 1e-12
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            density_contrast(np.zeros((0, 3)), 8, 10.0)
+
+
+class TestWindow:
+    def test_unity_at_zero(self):
+        assert float(cic_window(0.0, 0.0, 0.0, 1.0)) == 1.0
+
+    def test_nyquist_suppression(self):
+        # W = sinc^2(k spacing / 2): at the Nyquist mode sinc(pi/2) = 2/pi
+        w = float(cic_window(np.pi, 0.0, 0.0, 1.0))
+        assert w == pytest.approx((2 / np.pi) ** 2, rel=1e-10)
+
+    def test_separable(self):
+        wx = float(cic_window(0.5, 0.0, 0.0, 1.0))
+        wy = float(cic_window(0.0, 0.5, 0.0, 1.0))
+        wxy = float(cic_window(0.5, 0.5, 0.0, 1.0))
+        assert wxy == pytest.approx(wx * wy, rel=1e-12)

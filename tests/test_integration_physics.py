@@ -1,0 +1,208 @@
+"""Integration tests: the full code reproduces known physics.
+
+These are the reproduction's core scientific checks:
+
+* linear growth of a single Zel'dovich mode through the PM pipeline;
+* growth of the low-k power spectrum of a realistic realization;
+* PM + short-range force reproduces the exact Newtonian pair force
+  inside the handover radius (force-matching);
+* P3M and PPTreePM full runs agree on the nonlinear power spectrum
+  (the paper's Section II accuracy claim).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.power import matter_power_spectrum
+from repro.config import SimulationConfig
+from repro.core.particles import Particles
+from repro.core.simulation import HACCSimulation
+from repro.core.timestepper import SubcycledStepper
+from repro.cosmology import WMAP7
+from repro.grid.poisson import SpectralPoissonSolver
+from repro.shortrange.grid_force import pair_force_normalization
+
+
+@pytest.mark.slow
+class TestLinearGrowth:
+    def test_single_mode_zeldovich(self):
+        """A single plane-wave perturbation grows by D(a1)/D(a0) under
+        the PM dynamics (2% tolerance: discreteness + stepping)."""
+        box, n = 100.0, 32
+        a0, a1 = 1 / 26, 0.5
+        k = 2 * np.pi / box
+        amp = 0.5
+
+        grid = np.arange(n) * (box / n)
+        qx, qy, qz = np.meshgrid(grid, grid, grid, indexing="ij")
+        q = np.stack([qx.ravel(), qy.ravel(), qz.ravel()], axis=1)
+        d0 = WMAP7.growth_factor(a0)
+        f0 = WMAP7.growth_rate(a0)
+        e0 = float(WMAP7.efunc(a0))
+        disp = np.zeros_like(q)
+        disp[:, 0] = amp * np.sin(k * q[:, 0])
+
+        parts = Particles(
+            np.mod(q + d0 * disp, box),
+            (a0**2 * e0 * f0 * d0) * disp,
+            np.ones(len(q)),
+            np.arange(len(q)),
+            box,
+        )
+        solver = SpectralPoissonSolver(n, box, sigma=0.0, ns=0)
+        pref = 1.5 * WMAP7.omega_m
+        stepper = SubcycledStepper(
+            WMAP7, lambda p: pref * solver.accelerations(p), None, 1
+        )
+        edges = np.linspace(a0, a1, 33)
+        for b0, b1 in zip(edges[:-1], edges[1:]):
+            stepper.step(parts, b0, b1)
+
+        d = parts.positions[:, 0] - q[:, 0]
+        d -= box * np.round(d / box)
+        measured = 2 * np.mean(d * np.sin(k * q[:, 0]))
+        expected = WMAP7.growth_factor(a1) * amp
+        assert measured == pytest.approx(expected, rel=0.02)
+
+    def test_realization_power_growth(self, linear_power):
+        """PM-only run: low-k power grows by the linear factor."""
+        cfg = SimulationConfig(
+            box_size=200.0,
+            n_per_dim=32,
+            z_initial=25.0,
+            z_final=1.0,
+            n_steps=16,
+            backend="pm",
+            seed=7,
+        )
+        sim = HACCSimulation(cfg)
+        p0 = matter_power_spectrum(
+            sim.particles.positions, 200.0, 32, subtract_shot_noise=False
+        )
+        sim.run()
+        p1 = matter_power_spectrum(
+            sim.particles.positions, 200.0, 32, subtract_shot_noise=False
+        )
+        growth2 = (
+            WMAP7.growth_factor(sim.a) / WMAP7.growth_factor(cfg.a_initial)
+        ) ** 2
+        ratio = p1.power[:4] / p0.power[:4] / growth2
+        # same realization: cosmic variance cancels.  The fundamental
+        # mode grows at the linear rate to better than 10%; higher bins
+        # are progressively suppressed by the spectral filter — exactly
+        # the deficit the short-range force exists to repair (PM-only
+        # run here).
+        assert 0.88 < ratio[0] < 1.05
+        assert np.all(np.diff(ratio) < 0)
+        assert ratio[3] > 0.5
+
+
+@pytest.mark.slow
+class TestForceMatching:
+    def test_pm_plus_sr_equals_newton(self):
+        """Total (PM + short-range) pair force matches 1/r^2 from well
+        inside the handover out to several cells — Section II's central
+        construction."""
+        n, box = 32, 32.0  # spacing 1
+        cfg = SimulationConfig(
+            box_size=box,
+            n_per_dim=4,  # placeholder; particles supplied manually
+            grid_size=n,
+            backend="direct",
+            n_steps=1,
+        )
+        rng = np.random.default_rng(3)
+        errors = []
+        for _ in range(12):
+            center = rng.uniform(8.0, 24.0, 3)
+            direction = rng.standard_normal(3)
+            direction /= np.linalg.norm(direction)
+            r = rng.uniform(0.7, 6.0)
+            pos = np.stack([center, center + r * direction])
+            parts = Particles(
+                pos.copy(), np.zeros((2, 3)), np.ones(2), np.arange(2), box
+            )
+            sim = HACCSimulation(cfg, particles=parts)
+            total = sim._long_range(parts.positions) + sim._short_range(
+                parts.positions
+            )
+            # expected Newtonian: prefactor * norm / r^2 along direction
+            newton = (
+                sim.prefactor
+                * pair_force_normalization(box, 2)
+                / r**2
+            )
+            measured = -float(total[1] @ direction)
+            errors.append(abs(measured - newton) / newton)
+        errors = np.array(errors)
+        assert np.median(errors) < 0.02
+        assert errors.max() < 0.15
+
+    def test_sr_correction_large_below_cell_scale(self):
+        """At sub-cell separation the short-range term dominates the
+        (filtered, hence suppressed) PM term."""
+        n, box = 32, 32.0
+        cfg = SimulationConfig(
+            box_size=box, n_per_dim=4, grid_size=n, backend="direct", n_steps=1
+        )
+        pos = np.array([[16.0, 16.0, 16.0], [16.6, 16.0, 16.0]])
+        parts = Particles(
+            pos.copy(), np.zeros((2, 3)), np.ones(2), np.arange(2), box
+        )
+        sim = HACCSimulation(cfg, particles=parts)
+        pm = sim._long_range(pos)
+        sr = sim._short_range(pos)
+        assert abs(sr[0, 0]) > abs(pm[0, 0])
+
+
+@pytest.mark.slow
+class TestBackendCrossValidation:
+    def test_p3m_vs_pptreepm_nonlinear_power(self):
+        """Identical ICs evolved with both short-range backends give the
+        same nonlinear P(k).  The paper quotes 0.1% on its production
+        comparison; at this toy scale the backends are algebraically
+        identical so we demand numerical agreement."""
+        cfg = SimulationConfig(
+            box_size=64.0,
+            n_per_dim=16,
+            z_initial=25.0,
+            z_final=5.0,
+            n_steps=6,
+            n_subcycles=3,
+            seed=13,
+        )
+        sims = {}
+        for backend in ("treepm", "p3m"):
+            sim = HACCSimulation(cfg.with_(backend=backend))
+            sim.run()
+            sims[backend] = matter_power_spectrum(
+                sim.particles.positions, 64.0, 16, subtract_shot_noise=False
+            )
+        a, b = sims["treepm"], sims["p3m"]
+        rel = np.abs(a.power - b.power) / np.abs(a.power)
+        assert rel.max() < 1e-3  # the paper's "agree to within 0.1%"
+
+    def test_overloaded_run_matches_single_rank(self):
+        """Full evolution with rank-decomposed (overloaded) short-range
+        equals the single-rank run bit-for-bit at tolerance."""
+        cfg = SimulationConfig(
+            box_size=64.0,
+            n_per_dim=16,
+            z_initial=25.0,
+            z_final=10.0,
+            n_steps=2,
+            n_subcycles=2,
+            backend="treepm",
+            seed=21,
+        )
+        single = HACCSimulation(cfg)
+        multi = HACCSimulation(
+            cfg,
+            decomposition_dims=(2, 1, 1),
+            overload_depth=cfg.rcut() + 0.5,
+        )
+        single.run()
+        multi.run()
+        d = single.particles.positions - multi.particles.positions
+        d -= 64.0 * np.round(d / 64.0)
+        assert np.abs(d).max() < 1e-8

@@ -1,0 +1,88 @@
+"""Tests for the Section IV.B instruction-mix / roofline model."""
+
+import pytest
+
+from repro.machine.roofline import InstructionMixModel
+
+
+class TestInstructionMix:
+    @pytest.fixture()
+    def model(self):
+        return InstructionMixModel()
+
+    def test_max_ipc_matches_paper(self, model):
+        """'the maximal possible throughput is 100/56.10 = 1.783
+        instructions/cycle'."""
+        assert model.max_instructions_per_cycle() == pytest.approx(
+            1.783, abs=0.001
+        )
+
+    def test_issue_efficiency_85_percent(self, model):
+        """'the actual instructions/cycle completed per core is 1.508,
+        85% of the possible issue rate'."""
+        assert model.issue_efficiency() == pytest.approx(0.85, abs=0.01)
+
+    def test_fxu_heavy_mix_bound_by_fxu(self):
+        m = InstructionMixModel(fpu_fraction=0.3)
+        assert m.max_instructions_per_cycle() == pytest.approx(1.0 / 0.7)
+
+    def test_balanced_mix_reaches_two(self):
+        m = InstructionMixModel(fpu_fraction=0.5)
+        assert m.max_instructions_per_cycle() == pytest.approx(2.0)
+
+    def test_sustained_gflops_round_trip(self, model):
+        """Implied flops/FPU-instruction reproduces the 142.32 GFlops
+        node counter, and lies between the 4-flop and 8-flop QPX ops."""
+        f = model.implied_flops_per_fpu_instruction(142.32)
+        assert 4.0 < f < 8.0
+        assert model.sustained_node_gflops(f) == pytest.approx(142.32)
+
+    def test_counter_consistency_with_peak_fraction(self, model):
+        """142.32 of 204.8 GFlops = 69.5% — the Section IV.B number."""
+        assert 142.32 / model.node.flops_per_node_peak * 1e9 == pytest.approx(
+            0.695, abs=0.001
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InstructionMixModel(fpu_fraction=0.0)
+        with pytest.raises(ValueError):
+            InstructionMixModel(instructions_per_cycle=0.0)
+        with pytest.raises(ValueError):
+            InstructionMixModel().sustained_node_gflops(0.0)
+
+
+class TestRoofline:
+    def test_compute_bound(self):
+        """'The memory bandwidth is very low: 0.344 B/cycle out of a
+        measured peak of 18 B/cycle; this testifies to the very high rate
+        of data reuse' — HACC sits deep in the compute-bound region."""
+        m = InstructionMixModel()
+        point = m.roofline()
+        assert not point.memory_bound
+        assert point.arithmetic_intensity > 100  # flops per byte
+
+    def test_bandwidth_headroom(self):
+        m = InstructionMixModel()
+        assert m.bandwidth_headroom() == pytest.approx(18.0 / 0.344, rel=1e-6)
+
+    def test_memory_bound_scenario(self):
+        """A hypothetical streaming code (1 flop/8 bytes) at the same
+        flop rate would be memory bound — the contrast that makes the
+        paper's byte/flop argument for future machines."""
+        m = InstructionMixModel(memory_bytes_per_cycle=720.0)  # would-be need
+        point = m.roofline()
+        assert point.arithmetic_intensity < 1.0
+        assert point.memory_bound
+
+    def test_summary_keys(self):
+        s = InstructionMixModel().summary()
+        assert set(s) == {
+            "fpu_fraction",
+            "max_ipc",
+            "measured_ipc",
+            "issue_efficiency",
+            "l1_hit_rate",
+            "bandwidth_headroom",
+            "flops_per_fpu_instruction",
+        }

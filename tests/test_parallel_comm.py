@@ -1,0 +1,141 @@
+"""Tests for the simulated communicator and its traffic accounting."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.comm import CommStats, SimulatedComm
+
+
+class TestCommStats:
+    def test_record_and_summary(self):
+        s = CommStats()
+        s.record(2, 100, "a")
+        s.record(1, 50, "b")
+        s.record(1, 25, "a")
+        assert s.messages == 4
+        assert s.bytes == 175
+        assert s.tag_bytes("a") == 125
+        assert s.summary()["by_tag"]["b"] == (1, 50)
+
+    def test_reset(self):
+        s = CommStats()
+        s.record(1, 10, "x")
+        s.reset()
+        assert s.messages == 0 and s.bytes == 0 and s.tag_bytes("x") == 0
+
+    def test_unknown_tag_bytes_zero(self):
+        assert CommStats().tag_bytes("nope") == 0
+
+
+class TestAlltoallv:
+    def test_transpose_semantics(self):
+        comm = SimulatedComm(3)
+        send = [
+            [np.full(1, 10 * i + j) for j in range(3)] for i in range(3)
+        ]
+        recv = comm.alltoallv(send)
+        for i in range(3):
+            for j in range(3):
+                assert recv[j][i][0] == 10 * i + j
+
+    def test_self_messages_not_charged(self):
+        comm = SimulatedComm(2)
+        send = [[np.zeros(10), None], [None, np.zeros(10)]]
+        comm.alltoallv(send)
+        assert comm.stats.bytes == 0
+        assert comm.stats.messages == 0
+
+    def test_bytes_counted(self):
+        comm = SimulatedComm(2)
+        send = [[None, np.zeros(4)], [np.zeros(2), None]]
+        comm.alltoallv(send)
+        assert comm.stats.bytes == (4 + 2) * 8
+        assert comm.stats.messages == 2
+
+    def test_empty_arrays_free(self):
+        comm = SimulatedComm(2)
+        comm.alltoallv([[None, np.empty(0)], [np.empty(0), None]])
+        assert comm.stats.messages == 0
+
+    def test_wrong_row_count_rejected(self):
+        comm = SimulatedComm(2)
+        with pytest.raises(ValueError):
+            comm.alltoallv([[None, None]])
+
+    def test_wrong_row_length_rejected(self):
+        comm = SimulatedComm(2)
+        with pytest.raises(ValueError):
+            comm.alltoallv([[None], [None, None]])
+
+
+class TestExchange:
+    def test_delivery_and_accounting(self):
+        comm = SimulatedComm(4)
+        sends = {(0, 1): np.zeros(3), (2, 3): np.zeros(5), (1, 1): np.zeros(7)}
+        out = comm.exchange(sends)
+        assert set(out) == set(sends)
+        assert comm.stats.messages == 2  # self-send not charged
+        assert comm.stats.bytes == (3 + 5) * 8
+
+    def test_bad_rank_rejected(self):
+        comm = SimulatedComm(2)
+        with pytest.raises(ValueError):
+            comm.exchange({(0, 5): np.zeros(1)})
+
+
+class TestCollectives:
+    def test_allreduce_sum(self):
+        comm = SimulatedComm(4)
+        assert comm.allreduce([1, 2, 3, 4]) == 10
+        assert comm.stats.messages == 2 * 3
+
+    def test_allreduce_custom_op(self):
+        comm = SimulatedComm(3)
+        assert comm.allreduce([5, 1, 9], op=max) == 9
+
+    def test_allreduce_wrong_count(self):
+        with pytest.raises(ValueError):
+            SimulatedComm(3).allreduce([1, 2])
+
+    def test_allgather(self):
+        comm = SimulatedComm(3)
+        vals = comm.allgather([np.array([i]) for i in range(3)])
+        assert [int(v[0]) for v in vals] == [0, 1, 2]
+        assert comm.stats.messages == 3 * 2
+
+    def test_barrier_counts_messages_not_bytes(self):
+        comm = SimulatedComm(8)
+        comm.barrier()
+        assert comm.stats.bytes == 0
+        assert comm.stats.messages == 14
+
+
+class TestSplit:
+    def test_groups_and_shared_stats(self):
+        comm = SimulatedComm(4)
+        rows = comm.split([0, 0, 1, 1])
+        assert [c.size for c in rows] == [2, 2]
+        assert rows[0].members == (0, 1)
+        assert rows[1].members == (2, 3)
+        rows[0].alltoallv([[None, np.zeros(1)], [np.zeros(1), None]])
+        assert comm.stats.bytes == 16  # parent sees child traffic
+
+    def test_interleaved_colors(self):
+        comm = SimulatedComm(4)
+        cols = comm.split([0, 1, 0, 1])
+        assert cols[0].members == (0, 2)
+        assert cols[1].members == (1, 3)
+
+    def test_wrong_color_count(self):
+        with pytest.raises(ValueError):
+            SimulatedComm(4).split([0, 1])
+
+
+class TestConstruction:
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            SimulatedComm(0)
+
+    def test_members_mismatch(self):
+        with pytest.raises(ValueError):
+            SimulatedComm(2, members=(0, 1, 2))

@@ -1,0 +1,165 @@
+"""Tests for particle overloading (Fig. 4 of the paper)."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.comm import SimulatedComm
+from repro.parallel.decomposition import DomainDecomposition
+from repro.parallel.overload import OverloadExchange
+
+
+def make_exchange(box=100.0, dims=(2, 2, 2), depth=10.0):
+    return OverloadExchange(DomainDecomposition(box, dims), depth)
+
+
+def random_particles(rng, n=800, box=100.0):
+    pos = rng.uniform(0, box, (n, 3))
+    mom = rng.standard_normal((n, 3))
+    return pos, mom
+
+
+class TestDistribute:
+    def test_every_particle_active_exactly_once(self, rng):
+        ex = make_exchange()
+        pos, mom = random_particles(rng)
+        domains = ex.distribute(pos, mom)
+        ids = np.concatenate([d.ids[d.active] for d in domains])
+        assert len(ids) == 800
+        assert len(np.unique(ids)) == 800
+
+    def test_active_particles_inside_their_domain(self, rng):
+        ex = make_exchange()
+        pos, mom = random_particles(rng)
+        for dom in ex.distribute(pos, mom):
+            lo, hi = ex.decomposition.bounds(dom.rank)
+            act = dom.positions[dom.active]
+            assert np.all(act >= lo - 1e-12)
+            assert np.all(act < hi + 1e-12)
+
+    def test_passive_particles_in_overload_shell(self, rng):
+        ex = make_exchange(depth=8.0)
+        pos, mom = random_particles(rng)
+        for dom in ex.distribute(pos, mom):
+            lo, hi = ex.decomposition.bounds(dom.rank)
+            pas = dom.positions[~dom.active]
+            if pas.size:
+                assert np.all(pas >= lo - 8.0 - 1e-9)
+                assert np.all(pas < hi + 8.0 + 1e-9)
+                # strictly outside the owned region
+                inside = np.all((pas >= lo) & (pas < hi), axis=1)
+                assert not np.any(inside)
+
+    def test_replica_count_matches_geometric_expectation(self, rng):
+        """Mean overload fraction ~ (volume factor - 1) for uniform
+        particles — the paper's ~10% memory overhead argument."""
+        box, depth = 100.0, 4.0
+        ex = make_exchange(box=box, dims=(2, 2, 2), depth=depth)
+        pos, mom = random_particles(rng, n=20000, box=box)
+        domains = ex.distribute(pos, mom)
+        total = sum(d.n_total for d in domains)
+        expected = 20000 * ex.decomposition.overload_volume_factor(depth)
+        assert total == pytest.approx(expected, rel=0.05)
+
+    def test_replicas_share_ids_and_momenta(self, rng):
+        ex = make_exchange()
+        pos, mom = random_particles(rng)
+        domains = ex.distribute(pos, mom)
+        for dom in domains:
+            for i in np.flatnonzero(~dom.active)[:20]:
+                gid = dom.ids[i]
+                assert np.allclose(dom.momenta[i], mom[gid])
+
+    def test_passive_positions_unwrapped_across_seam(self, rng):
+        """Replicas near a periodic face carry shifted coordinates so the
+        receiving rank sees a contiguous cloud."""
+        box = 100.0
+        ex = make_exchange(box=box, depth=10.0)
+        # particle just inside the high-x face: should appear as passive
+        # with x slightly negative on the ranks owning the low-x blocks
+        pos = np.array([[99.5, 25.0, 25.0]])
+        mom = np.zeros((1, 3))
+        domains = ex.distribute(pos, mom)
+        low_rank = ex.decomposition.assign(np.array([[1.0, 25.0, 25.0]]))[0]
+        dom = domains[low_rank]
+        pas = dom.positions[~dom.active]
+        assert pas.shape[0] >= 1
+        assert np.any(np.isclose(pas[:, 0], -0.5))
+
+    def test_no_overlap_depth_zero(self, rng):
+        ex = make_exchange(depth=0.0)
+        pos, mom = random_particles(rng, n=500)
+        domains = ex.distribute(pos, mom)
+        assert sum(d.n_passive for d in domains) == 0
+
+    def test_masses_default_to_unity(self, rng):
+        ex = make_exchange()
+        pos, mom = random_particles(rng, n=100)
+        domains = ex.distribute(pos, mom)
+        assert all(np.all(d.masses == 1.0) for d in domains)
+
+    def test_momenta_shape_mismatch_rejected(self, rng):
+        ex = make_exchange()
+        with pytest.raises(ValueError):
+            ex.distribute(np.zeros((5, 3)), np.zeros((4, 3)))
+
+
+class TestRefresh:
+    def test_refresh_preserves_global_state(self, rng):
+        ex = make_exchange()
+        pos, mom = random_particles(rng)
+        domains = ex.distribute(pos, mom)
+        refreshed = ex.refresh(domains)
+        ids = np.concatenate([d.ids[d.active] for d in refreshed])
+        assert len(np.unique(ids)) == 800
+        # positions survive the round trip
+        all_pos = np.concatenate([d.positions[d.active] for d in refreshed])
+        all_ids = np.concatenate([d.ids[d.active] for d in refreshed])
+        order = np.argsort(all_ids)
+        assert np.allclose(all_pos[order], pos)
+
+    def test_roles_switch_when_particles_cross(self, rng):
+        """Fig. 4: particles switch active/passive roles across borders."""
+        box = 100.0
+        ex = make_exchange(box=box, dims=(2, 1, 1), depth=10.0)
+        pos = np.array([[49.0, 50.0, 50.0]])
+        mom = np.zeros((1, 3))
+        domains = ex.distribute(pos, mom)
+        assert domains[0].n_active == 1  # owned by rank 0 (x < 50)
+        assert domains[1].n_passive == 1  # replica on rank 1
+        # move the particle across the x=50 boundary
+        domains[0].positions[domains[0].active] = [51.0, 50.0, 50.0]
+        domains[1].positions[~domains[1].active] = [51.0, 50.0, 50.0]
+        refreshed = ex.refresh(domains)
+        assert refreshed[1].n_active == 1
+        assert refreshed[0].n_passive == 1
+
+    def test_refresh_traffic_recorded(self, rng):
+        ex = make_exchange()
+        pos, mom = random_particles(rng)
+        domains = ex.distribute(pos, mom)
+        before = ex.comm.stats.tag_bytes("overload.refresh")
+        ex.refresh(domains)
+        assert ex.comm.stats.tag_bytes("overload.refresh") > before
+
+    def test_overload_fraction_reported(self, rng):
+        ex = make_exchange(depth=5.0)
+        pos, mom = random_particles(rng, n=4000)
+        domains = ex.distribute(pos, mom)
+        fracs = [d.overload_fraction() for d in domains]
+        factor = ex.decomposition.overload_volume_factor(5.0)
+        assert np.mean(fracs) == pytest.approx(factor - 1.0, rel=0.25)
+
+
+class TestValidation:
+    def test_depth_must_fit_domain(self):
+        with pytest.raises(ValueError):
+            make_exchange(box=100.0, dims=(4, 4, 4), depth=13.0)
+
+    def test_negative_depth(self):
+        with pytest.raises(ValueError):
+            make_exchange(depth=-1.0)
+
+    def test_comm_size_checked(self):
+        d = DomainDecomposition(100.0, (2, 2, 2))
+        with pytest.raises(ValueError):
+            OverloadExchange(d, 5.0, comm=SimulatedComm(3))

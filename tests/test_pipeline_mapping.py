@@ -1,0 +1,165 @@
+"""Tests for the production pipeline driver and the torus mapping
+analysis."""
+
+import numpy as np
+import pytest
+
+from repro import HACCSimulation, SimulationConfig
+from repro.core.pipeline import ProductSchedule, SimulationPipeline
+from repro.io.snapshots import load_power_history, load_snapshot
+from repro.machine.mapping import MappingAnalysis
+from repro.parallel.topology import TorusTopology
+
+
+def small_sim(**kwargs):
+    base = dict(
+        box_size=64.0,
+        n_per_dim=8,
+        z_initial=25.0,
+        z_final=1.0,
+        n_steps=6,
+        backend="pm",
+        seed=3,
+        step_spacing="loga",
+    )
+    base.update(kwargs)
+    return HACCSimulation(SimulationConfig(**base))
+
+
+class TestProductSchedule:
+    def test_defaults_empty(self):
+        s = ProductSchedule()
+        assert s.power_redshifts == ()
+        assert not s.track_energy
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(snapshot_subsample=0),
+            dict(power_grid_factor=0),
+            dict(power_redshifts=(-1.0,)),
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ProductSchedule(**kwargs)
+
+
+class TestSimulationPipeline:
+    def test_power_spectra_produced_and_saved(self, tmp_path):
+        pipe = SimulationPipeline(
+            small_sim(),
+            ProductSchedule(power_redshifts=(5.0, 2.0, 1.0)),
+            tmp_path,
+        )
+        pipe.run()
+        assert len(pipe.power_spectra) == 3
+        # capture redshifts are at-or-below the labels, in order
+        assert all(
+            a >= b for a, b in zip(pipe.power_redshifts, pipe.power_redshifts[1:])
+        )
+        z, records = load_power_history(tmp_path / "power_history.npz")
+        assert len(records) == 3
+        assert np.allclose(z, pipe.power_redshifts)
+
+    def test_snapshots_written(self, tmp_path):
+        pipe = SimulationPipeline(
+            small_sim(),
+            ProductSchedule(
+                snapshot_redshifts=(3.0,), snapshot_subsample=2
+            ),
+            tmp_path,
+        )
+        pipe.run()
+        assert len(pipe.snapshot_paths) == 1
+        parts, a, meta = load_snapshot(pipe.snapshot_paths[0])
+        assert parts.n == 8**3 // 2
+        assert meta["z_label"] == 3.0
+        assert 0 < a <= 1.0
+
+    def test_energy_tracking(self, tmp_path):
+        pipe = SimulationPipeline(
+            small_sim(n_per_dim=12),
+            ProductSchedule(track_energy=True),
+            tmp_path,
+        )
+        pipe.run()
+        summary = pipe.summary()
+        assert "energy_residual" in summary
+        assert abs(summary["energy_residual"]) < 0.25
+
+    def test_summary_contents(self, tmp_path):
+        pipe = SimulationPipeline(
+            small_sim(), ProductSchedule(power_redshifts=(1.0,)), tmp_path
+        )
+        pipe.run()
+        s = pipe.summary()
+        assert s["final_redshift"] == pytest.approx(1.0, abs=1e-9)
+        assert s["n_power_spectra"] == 1
+        assert s["n_snapshots"] == 0
+
+    def test_no_products_no_files(self, tmp_path):
+        pipe = SimulationPipeline(small_sim(), ProductSchedule(), tmp_path)
+        pipe.run()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_oversampled_power_grid(self, tmp_path):
+        pipe = SimulationPipeline(
+            small_sim(),
+            ProductSchedule(power_redshifts=(1.0,), power_grid_factor=2),
+            tmp_path,
+        )
+        pipe.run()
+        # 2x grid -> twice as many k bins as the force grid would give
+        assert len(pipe.power_spectra[0].k) == 8  # (2*8)//2
+
+
+class TestMappingAnalysis:
+    def test_linear_rows_compact_columns_spread(self):
+        """The naive mapping's signature: row communicators cheap,
+        column communicators near the machine mean."""
+        m = MappingAnalysis(16, 8, ranks_per_node=4)
+        hops = m.subset_hops("linear")
+        assert hops["row_mean_hops"] < hops["col_mean_hops"]
+        assert hops["col_mean_hops"] > 0.7 * hops["machine_mean_hops"]
+
+    def test_blocked_balances_families(self):
+        m = MappingAnalysis(16, 8, ranks_per_node=4)
+        hops = m.subset_hops("blocked")
+        assert hops["row_mean_hops"] == pytest.approx(
+            hops["col_mean_hops"], rel=0.5
+        )
+
+    def test_blocked_improves_worst_family(self):
+        """The paper's 'reduction in communication hotspots' requires a
+        locality-aware mapping; blocking beats linear on the worst
+        communicator family."""
+        for pr, pc in ((8, 8), (16, 8), (16, 16)):
+            m = MappingAnalysis(pr, pc, ranks_per_node=4)
+            assert m.locality_advantage() > 1.2
+
+    def test_subset_hops_below_machine_mean(self):
+        """Both communicator families stay below random-pair distance
+        under the blocked mapping — the subset-locality assumption of
+        the FFT comm model."""
+        m = MappingAnalysis(16, 16, ranks_per_node=4)
+        hops = m.subset_hops("blocked")
+        assert hops["worst_family_hops"] < hops["machine_mean_hops"]
+
+    def test_single_node_all_zero(self):
+        m = MappingAnalysis(
+            2, 2, ranks_per_node=4, torus=TorusTopology((1,))
+        )
+        hops = m.subset_hops("linear")
+        assert hops["worst_family_hops"] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MappingAnalysis(0, 4)
+        with pytest.raises(ValueError):
+            MappingAnalysis(4, 4, ranks_per_node=0)
+        m = MappingAnalysis(4, 4)
+        with pytest.raises(ValueError):
+            m.node_of_rank(9, 0, "linear")
+        with pytest.raises(ValueError):
+            m.node_of_rank(0, 0, "random")

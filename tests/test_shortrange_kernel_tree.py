@@ -1,0 +1,240 @@
+"""Tests for the PP force kernel and the RCB tree."""
+
+import numpy as np
+import pytest
+
+from repro.shortrange.kernel import ShortRangeKernel
+from repro.shortrange.rcb_tree import RCBTree
+
+
+@pytest.fixture()
+def kernel(grid_force_fit):
+    return ShortRangeKernel(grid_force_fit, spacing=1.0, eps_cells=0.0)
+
+
+class TestKernelFunction:
+    def test_matches_fit_short_range(self, kernel, grid_force_fit):
+        s = np.array([0.5, 1.0, 4.0])
+        assert np.allclose(kernel.f_sr_cells(s), grid_force_fit.short_range(s))
+
+    def test_zero_outside_cutoff(self, kernel):
+        assert np.all(kernel.f_sr_cells(np.array([9.0, 25.0])) == 0.0)
+
+    def test_zero_at_zero_separation(self, kernel):
+        assert float(kernel.f_sr_cells(np.array([0.0]))[0]) == 0.0
+
+    def test_softening_caps_force(self, grid_force_fit):
+        soft = ShortRangeKernel(grid_force_fit, 1.0, eps_cells=0.04)
+        hard = ShortRangeKernel(grid_force_fit, 1.0, eps_cells=0.0)
+        s = np.array([1e-4])
+        assert float(soft.f_sr_cells(s)[0]) < float(hard.f_sr_cells(s)[0])
+
+    def test_physical_units_scaling(self, grid_force_fit):
+        """f_phys(s) = f_cells(s/D^2)/D^3."""
+        k1 = ShortRangeKernel(grid_force_fit, spacing=1.0)
+        k2 = ShortRangeKernel(grid_force_fit, spacing=2.0)
+        s_phys = 4.0  # = 1.0 cells^2 at spacing 2
+        assert float(k2.f_sr(np.array([s_phys]))[0]) == pytest.approx(
+            float(k1.f_sr_cells(np.array([1.0]))[0]) / 8.0
+        )
+
+    def test_float32_mode_close_to_float64(self, grid_force_fit):
+        """Mixed precision: single-precision kernel agrees to ~1e-5."""
+        k64 = ShortRangeKernel(grid_force_fit, 1.0)
+        k32 = ShortRangeKernel(grid_force_fit, 1.0, dtype=np.float32)
+        s = np.linspace(0.1, 8.0, 100)
+        a, b = k64.f_sr_cells(s), k32.f_sr_cells(s)
+        assert np.allclose(a, b, rtol=1e-4, atol=1e-5)
+
+    def test_rcut_physical(self, grid_force_fit):
+        k = ShortRangeKernel(grid_force_fit, spacing=2.5)
+        assert k.rcut == pytest.approx(3.0 * 2.5)
+
+    @pytest.mark.parametrize("kwargs", [dict(spacing=0.0), dict(eps_cells=-1.0)])
+    def test_validation(self, grid_force_fit, kwargs):
+        with pytest.raises(ValueError):
+            ShortRangeKernel(grid_force_fit, **{"spacing": 1.0, **kwargs})
+
+
+class TestAccumulate:
+    def test_two_body_antisymmetry(self, kernel):
+        pos = np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]])
+        m = np.ones(2)
+        acc = kernel.accumulate(pos, pos, m)
+        assert np.allclose(acc[0], -acc[1])
+        assert acc[0, 0] > 0  # attraction toward the other particle
+
+    def test_matches_brute_force(self, kernel, rng):
+        pos = rng.uniform(0, 4.0, (30, 3))
+        m = rng.uniform(0.5, 2.0, 30)
+        fast = kernel.accumulate(pos, pos, m)
+        slow = np.zeros_like(fast)
+        for i in range(30):
+            for j in range(30):
+                if i == j:
+                    continue
+                d = pos[i] - pos[j]
+                s = float(d @ d)
+                slow[i] -= m[j] * float(kernel.f_sr(np.array([s]))[0]) * d
+        assert np.allclose(fast, slow, atol=1e-10)
+
+    def test_chunking_invariance(self, kernel, rng):
+        pos = rng.uniform(0, 4.0, (100, 3))
+        m = np.ones(100)
+        a = kernel.accumulate(pos, pos, m, chunk=7)
+        b = kernel.accumulate(pos, pos, m, chunk=1000)
+        assert np.allclose(a, b, atol=1e-12)
+
+    def test_mass_linearity(self, kernel, rng):
+        tgt = rng.uniform(0, 3.0, (10, 3))
+        src = rng.uniform(0, 3.0, (20, 3))
+        m = rng.uniform(0.5, 1.5, 20)
+        assert np.allclose(
+            kernel.accumulate(tgt, src, 2 * m),
+            2 * kernel.accumulate(tgt, src, m),
+        )
+
+    def test_interaction_counter(self, kernel, rng):
+        kernel.reset_counters()
+        tgt = rng.uniform(0, 3.0, (10, 3))
+        src = rng.uniform(0, 3.0, (20, 3))
+        kernel.accumulate(tgt, src, np.ones(20))
+        assert kernel.interaction_count == 200
+        assert kernel.flops() == pytest.approx(21.0 * 200)
+
+    def test_empty_inputs(self, kernel):
+        out = kernel.accumulate(np.zeros((0, 3)), np.zeros((0, 3)), np.zeros(0))
+        assert out.shape == (0, 3)
+
+    def test_shape_validation(self, kernel):
+        with pytest.raises(ValueError):
+            kernel.accumulate(np.zeros((3, 2)), np.zeros((3, 3)), np.ones(3))
+        with pytest.raises(ValueError):
+            kernel.accumulate(np.zeros((3, 3)), np.zeros((3, 3)), np.ones(2))
+
+
+class TestRCBTree:
+    def test_all_particles_in_leaves(self, rng):
+        pos = rng.uniform(0, 1, (500, 3))
+        tree = RCBTree(pos, leaf_size=32)
+        total = sum(tree.node(l).count for l in tree.leaves())
+        assert total == 500
+
+    def test_leaf_size_respected(self, rng):
+        pos = rng.uniform(0, 1, (500, 3))
+        tree = RCBTree(pos, leaf_size=32)
+        assert all(tree.node(l).count <= 32 for l in tree.leaves())
+
+    def test_permutation_is_bijection(self, rng):
+        pos = rng.uniform(0, 1, (200, 3))
+        tree = RCBTree(pos, leaf_size=16)
+        assert np.array_equal(np.sort(tree.perm), np.arange(200))
+
+    def test_positions_reordered_consistently(self, rng):
+        pos = rng.uniform(0, 1, (200, 3))
+        tree = RCBTree(pos, leaf_size=16)
+        assert np.allclose(tree.positions, pos[tree.perm])
+
+    def test_masses_travel_with_positions(self, rng):
+        pos = rng.uniform(0, 1, (100, 3))
+        m = rng.uniform(1, 2, 100)
+        tree = RCBTree(pos, m, leaf_size=8)
+        assert np.allclose(tree.masses, m[tree.perm])
+
+    def test_nodes_contiguous_and_nested(self, rng):
+        pos = rng.uniform(0, 1, (300, 3))
+        tree = RCBTree(pos, leaf_size=20)
+        for i in range(tree.n_nodes):
+            node = tree.node(i)
+            if not node.is_leaf:
+                l, r = tree.node(node.left), tree.node(node.right)
+                assert l.start == node.start
+                assert r.start == l.start + l.count
+                assert l.count + r.count == node.count
+
+    def test_bounding_boxes_contain_particles(self, rng):
+        pos = rng.uniform(0, 1, (300, 3))
+        tree = RCBTree(pos, leaf_size=20)
+        for lidx in tree.leaves():
+            node = tree.node(lidx)
+            seg = tree.positions[node.start : node.start + node.count]
+            assert np.all(seg >= node.lo - 1e-12)
+            assert np.all(seg <= node.hi + 1e-12)
+
+    def test_split_perpendicular_to_longest_side(self):
+        """Elongated cloud splits along its long axis first."""
+        rng = np.random.default_rng(0)
+        pos = rng.uniform(0, 1, (100, 3))
+        pos[:, 0] *= 10  # long in x
+        tree = RCBTree(pos, leaf_size=32)
+        root = tree.node(0)
+        l, r = tree.node(root.left), tree.node(root.right)
+        assert l.hi[0] <= r.lo[0] + 1e-9  # separated in x
+
+    def test_center_of_mass_split(self):
+        """The dividing line is the center of mass, not the midpoint."""
+        pos = np.zeros((10, 3))
+        pos[:, 0] = [0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 10.0]
+        tree = RCBTree(pos, leaf_size=4)
+        root = tree.node(0)
+        left = tree.node(root.left)
+        # com ~ 1.36: nine points below, one above
+        assert left.count == 9
+
+    def test_duplicate_positions_handled(self):
+        pos = np.ones((50, 3))
+        tree = RCBTree(pos, leaf_size=8)
+        total = sum(tree.node(l).count for l in tree.leaves())
+        assert total == 50
+
+    def test_depth_logarithmic(self, rng):
+        pos = rng.uniform(0, 1, (1024, 3))
+        tree = RCBTree(pos, leaf_size=16)
+        # perfect bisection would need log2(1024/16) = 6 levels
+        assert 6 <= tree.depth() <= 14
+
+    def test_interaction_list_complete(self, rng):
+        """The shared leaf list contains every particle within rcut of any
+        leaf member (it may legitimately contain more)."""
+        pos = rng.uniform(0, 4.0, (300, 3))
+        tree = RCBTree(pos, leaf_size=16)
+        rcut = 0.8
+        for lidx in tree.leaves()[:5]:
+            node = tree.node(lidx)
+            ilist = set(tree.interaction_list(lidx, rcut).tolist())
+            seg = tree.positions[node.start : node.start + node.count]
+            d2 = ((tree.positions[:, None, :] - seg[None, :, :]) ** 2).sum(-1)
+            required = set(np.flatnonzero((d2 < rcut**2).any(axis=1)).tolist())
+            assert required <= ilist
+
+    def test_interaction_list_prunes_far_nodes(self, rng):
+        """Two distant clusters don't appear on each other's lists."""
+        a = rng.uniform(0, 1, (100, 3))
+        b = rng.uniform(9, 10, (100, 3))
+        tree = RCBTree(np.vstack([a, b]), leaf_size=16)
+        for lidx in tree.leaves():
+            node = tree.node(lidx)
+            ilist = tree.interaction_list(lidx, 0.5)
+            pts = tree.positions[ilist]
+            span = pts.max(axis=0) - pts.min(axis=0)
+            assert np.all(span < 3.0)  # never spans both clusters
+
+    def test_interaction_list_on_internal_node_rejected(self, rng):
+        tree = RCBTree(rng.uniform(0, 1, (100, 3)), leaf_size=8)
+        root = tree.node(0)
+        assert not root.is_leaf
+        with pytest.raises(ValueError):
+            tree.interaction_list(0, 0.1)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            RCBTree(rng.uniform(0, 1, (10, 2)))
+        with pytest.raises(ValueError):
+            RCBTree(rng.uniform(0, 1, (10, 3)), leaf_size=0)
+        with pytest.raises(ValueError):
+            RCBTree(rng.uniform(0, 1, (10, 3)), masses=np.ones(5))
+
+    def test_empty_tree(self):
+        tree = RCBTree(np.zeros((0, 3)))
+        assert tree.n_nodes == 0
+        assert tree.leaves() == []
