@@ -8,16 +8,26 @@ once per benchmark session.
 Every bench prints the paper-vs-reproduction rows it regenerates (run
 with ``-s`` to see them inline); tolerances are asserted so the bench
 suite doubles as a regression gate on the reproduction quality.
+
+Each bench additionally leaves a machine-readable ``BENCH_<name>.json``
+record (outcome, duration, and — when instrumentation is enabled — the
+section/counter summary) under ``benchmarks/records/`` via
+:func:`repro.instrument.report.write_bench_record`; point
+``REPRO_BENCH_DIR`` elsewhere to redirect them.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro import HACCSimulation, SimulationConfig
+from repro.instrument import get_registry
+from repro.instrument.report import write_bench_record
 
 #: redshift frames of Figs. 9/10
 FRAME_REDSHIFTS = (5.5, 3.0, 1.9, 0.9, 0.4, 0.0)
@@ -68,6 +78,28 @@ def _run_science(n_per_dim: int = 24) -> ScienceRun:
 @pytest.fixture(scope="session")
 def science_run() -> ScienceRun:
     return _run_science()
+
+
+_RECORD_DIR = Path(__file__).parent / "records"
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when != "call":
+        return
+    registry = get_registry()
+    write_bench_record(
+        item.name,
+        {
+            "nodeid": item.nodeid,
+            "outcome": report.outcome,
+            "duration_s": report.duration,
+        },
+        directory=os.environ.get("REPRO_BENCH_DIR") or _RECORD_DIR,
+        registry=registry if registry.enabled else None,
+    )
 
 
 @pytest.fixture()

@@ -21,6 +21,7 @@ pair force inside the handover radius.
 
 from __future__ import annotations
 
+import logging
 import time
 from collections import defaultdict
 from typing import Callable
@@ -28,6 +29,7 @@ from typing import Callable
 import numpy as np
 
 from repro.config import SimulationConfig
+from repro.instrument import get_registry
 from repro.core.particles import Particles
 from repro.core.timestepper import SubcycledStepper
 from repro.cosmology.initial_conditions import make_initial_conditions
@@ -46,6 +48,8 @@ from repro.shortrange.solvers import (
 )
 
 __all__ = ["HACCSimulation"]
+
+logger = logging.getLogger(__name__)
 
 
 class HACCSimulation:
@@ -163,23 +167,25 @@ class HACCSimulation:
     # ------------------------------------------------------------------
     def _long_range(self, positions: np.ndarray) -> np.ndarray:
         t0 = time.perf_counter()
-        acc = self.prefactor * self.poisson.accelerations(
-            positions, weights=self.particles.masses
-        )
+        with get_registry().span("longrange"):
+            acc = self.prefactor * self.poisson.accelerations(
+                positions, weights=self.particles.masses
+            )
         self.timings["long_range"] += time.perf_counter() - t0
         return acc
 
     def _short_range(self, positions: np.ndarray) -> np.ndarray:
         t0 = time.perf_counter()
-        scale = self.prefactor * self.pair_norm
-        if self.exchange is None:
-            acc = scale * self.short_solver.accelerations(
-                positions,
-                self.particles.masses,
-                box_size=self.config.box_size,
-            )
-        else:
-            acc = scale * self._short_range_overloaded(positions)
+        with get_registry().span("shortrange"):
+            scale = self.prefactor * self.pair_norm
+            if self.exchange is None:
+                acc = scale * self.short_solver.accelerations(
+                    positions,
+                    self.particles.masses,
+                    box_size=self.config.box_size,
+                )
+            else:
+                acc = scale * self._short_range_overloaded(positions)
         self.timings["short_range"] += time.perf_counter() - t0
         return acc
 
@@ -214,20 +220,36 @@ class HACCSimulation:
     # evolution
     # ------------------------------------------------------------------
     def step(self) -> None:
-        """Advance one full long-range step (with sub-cycling)."""
+        """Advance one full long-range step (with sub-cycling).
+
+        When instrumentation is enabled the step is bracketed by a
+        ``step`` span and a :class:`repro.instrument.StepRecord`
+        capturing the per-section time and counter deltas.
+        """
         if self._step_index >= self.config.n_steps:
             raise RuntimeError("simulation already at final time")
         a0 = self._edges[self._step_index]
         a1 = self._edges[self._step_index + 1]
-        self.stepper.step(self.particles, a0, a1)
+        reg = get_registry()
+        with reg.step(self._step_index), reg.span("step"):
+            self.stepper.step(self.particles, a0, a1)
         self.a = a1
         self._step_index += 1
+        logger.debug(
+            "step %d/%d done: a = %.5f (z = %.3f)",
+            self._step_index, self.config.n_steps, self.a, self.redshift,
+        )
 
     def run(
         self,
         callback: Callable[["HACCSimulation"], None] | None = None,
     ) -> None:
         """Run to the final redshift, invoking ``callback`` after each step."""
+        logger.debug(
+            "run: %d particles, %d steps x %d subcycles, backend=%s",
+            self.particles.n, self.config.n_steps,
+            self.config.n_subcycles, self.config.backend,
+        )
         while self._step_index < self.config.n_steps:
             self.step()
             if callback is not None:
@@ -241,7 +263,12 @@ class HACCSimulation:
         return 1.0 / self.a - 1.0
 
     def interaction_count(self) -> int:
-        """Cumulative short-range pair interactions (perf cross-check)."""
+        """Cumulative short-range pair interactions (perf cross-check).
+
+        Backed by the kernel's ``pp.interactions`` instrument counter, so
+        this number, the ablation benchmarks, and a profiled run's
+        counter table all agree by construction.
+        """
         return self.kernel.interaction_count if self.kernel else 0
 
     def density_contrast(self, n: int | None = None) -> np.ndarray:

@@ -32,6 +32,7 @@ from scipy.integrate import quad
 
 from repro.cosmology.background import Cosmology
 from repro.core.particles import Particles
+from repro.instrument import get_registry
 
 __all__ = ["drift_coefficient", "kick_coefficient", "SubcycledStepper"]
 
@@ -105,14 +106,18 @@ class SubcycledStepper:
         """Long-range kick map M_lr over [a0, a1]: velocities only."""
         acc = self.long_range(particles.positions)
         self.n_long_range_evals += 1
-        particles.momenta += acc * kick_coefficient(self.cosmology, a0, a1)
+        with get_registry().span("sks.kick"):
+            particles.momenta += acc * kick_coefficient(
+                self.cosmology, a0, a1
+            )
 
     def stream(self, particles: Particles, a0: float, a1: float) -> None:
         """Stream map: positions advance, velocities fixed."""
-        particles.positions += particles.momenta * drift_coefficient(
-            self.cosmology, a0, a1
-        )
-        particles.wrap()
+        with get_registry().span("sks.stream"):
+            particles.positions += particles.momenta * drift_coefficient(
+                self.cosmology, a0, a1
+            )
+            particles.wrap()
 
     def kick_short(self, particles: Particles, a0: float, a1: float) -> None:
         """Short-range kick map within a sub-cycle."""
@@ -120,20 +125,26 @@ class SubcycledStepper:
             return
         acc = self.short_range(particles.positions)
         self.n_short_range_evals += 1
-        particles.momenta += acc * kick_coefficient(self.cosmology, a0, a1)
+        with get_registry().span("sks.kick"):
+            particles.momenta += acc * kick_coefficient(
+                self.cosmology, a0, a1
+            )
 
     # ------------------------------------------------------------------
     def step(self, particles: Particles, a0: float, a1: float) -> None:
         """One full map  M_lr(1/2) (M_sr(1/nc))^nc M_lr(1/2)  over [a0, a1]."""
         if not 0 < a0 < a1:
             raise ValueError(f"need 0 < a0 < a1, got a0={a0}, a1={a1}")
+        reg = get_registry()
         a_mid = 0.5 * (a0 + a1)
         self.kick_long(particles, a0, a_mid)
         edges = np.linspace(a0, a1, self.n_subcycles + 1)
         for b0, b1 in zip(edges[:-1], edges[1:]):
             b_mid = 0.5 * (b0 + b1)
-            self.stream(particles, b0, b_mid)
-            self.kick_short(particles, b0, b1)
-            self.stream(particles, b_mid, b1)
+            with reg.span("sks.subcycle"):
+                self.stream(particles, b0, b_mid)
+                self.kick_short(particles, b0, b1)
+                self.stream(particles, b_mid, b1)
             self.n_substeps += 1
+            reg.count("sks.substeps", 1)
         self.kick_long(particles, a_mid, a1)

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.fft.local import SequentialFFT
+from repro.instrument import get_registry, timed
 from repro.parallel.comm import SimulatedComm
 
 __all__ = ["PencilFFT", "PencilLayout"]
@@ -148,21 +149,30 @@ class PencilFFT:
             raise ValueError(
                 f"field shape {field.shape} != {(n, n, n)}"
             )
-        nx, ny = n // pr, n // pc
-        blocks = []
-        for i in range(pr):
-            for j in range(pc):
-                blocks.append(
-                    np.ascontiguousarray(
-                        field[i * nx : (i + 1) * nx, j * ny : (j + 1) * ny, :]
+        with get_registry().span("fft.pencil.scatter"):
+            nx, ny = n // pr, n // pc
+            blocks = []
+            for i in range(pr):
+                for j in range(pc):
+                    blocks.append(
+                        np.ascontiguousarray(
+                            field[
+                                i * nx : (i + 1) * nx, j * ny : (j + 1) * ny, :
+                            ]
+                        )
                     )
-                )
         return blocks
 
     def gather(self, blocks: list[np.ndarray], kind: str) -> np.ndarray:
         """Reassemble rank-local blocks into the global array."""
         n, pr, pc = self.n, self.pr, self.pc
         dtype = np.result_type(*[b.dtype for b in blocks])
+        with get_registry().span("fft.pencil.gather"):
+            out = self._gather(blocks, kind, dtype)
+        return out
+
+    def _gather(self, blocks, kind: str, dtype) -> np.ndarray:
+        n, pr, pc = self.n, self.pr, self.pc
         out = np.empty((n, n, n), dtype=dtype)
         nx, ny, nz = n // pr, n // pc, n // pc
         for i in range(pr):
@@ -182,6 +192,7 @@ class PencilFFT:
     # ------------------------------------------------------------------
     # transposes
     # ------------------------------------------------------------------
+    @timed("fft.transpose.zy")
     def _transpose_zy(self, blocks: list[np.ndarray]) -> list[np.ndarray]:
         """z-pencils -> y-pencils: alltoall within each row of the grid."""
         n, pr, pc = self.n, self.pr, self.pc
@@ -205,6 +216,7 @@ class PencilFFT:
                 out[row_ranks[j]] = np.concatenate(recv[j], axis=1)
         return out  # type: ignore[return-value]
 
+    @timed("fft.transpose.yz")
     def _transpose_yz(self, blocks: list[np.ndarray]) -> list[np.ndarray]:
         """Inverse of :meth:`_transpose_zy` (y-pencils -> z-pencils)."""
         n, pr, pc = self.n, self.pr, self.pc
@@ -226,6 +238,7 @@ class PencilFFT:
                 out[row_ranks[j]] = np.concatenate(recv[j], axis=2)
         return out  # type: ignore[return-value]
 
+    @timed("fft.transpose.yx")
     def _transpose_yx(self, blocks: list[np.ndarray]) -> list[np.ndarray]:
         """y-pencils -> x-pencils: alltoall within each column of the grid."""
         n, pr, pc = self.n, self.pr, self.pc
@@ -247,6 +260,7 @@ class PencilFFT:
                 out[col_ranks[i]] = np.concatenate(recv[i], axis=0)
         return out  # type: ignore[return-value]
 
+    @timed("fft.transpose.xy")
     def _transpose_xy(self, blocks: list[np.ndarray]) -> list[np.ndarray]:
         """Inverse of :meth:`_transpose_yx` (x-pencils -> y-pencils)."""
         n, pr, pc = self.n, self.pr, self.pc
@@ -274,20 +288,28 @@ class PencilFFT:
     def forward(self, blocks: list[np.ndarray]) -> list[np.ndarray]:
         """Forward 3-D FFT: z-pencil real/complex blocks -> x-pencil spectra."""
         self._check_blocks(blocks, "z-pencil")
-        work = [self.fft.fft(b, axis=2) for b in blocks]
-        work = self._transpose_zy(work)
-        work = [self.fft.fft(b, axis=1) for b in work]
-        work = self._transpose_yx(work)
-        return [self.fft.fft(b, axis=0) for b in work]
+        reg = get_registry()
+        with reg.span("fft.pencil.forward"):
+            work = [self.fft.fft(b, axis=2) for b in blocks]
+            work = self._transpose_zy(work)
+            work = [self.fft.fft(b, axis=1) for b in work]
+            work = self._transpose_yx(work)
+            out = [self.fft.fft(b, axis=0) for b in work]
+        reg.count("fft.forward_points", self.n**3)
+        return out
 
     def inverse(self, blocks: list[np.ndarray]) -> list[np.ndarray]:
         """Inverse 3-D FFT: x-pencil spectra -> z-pencil complex blocks."""
         self._check_blocks(blocks, "x-pencil")
-        work = [self.fft.ifft(b, axis=0) for b in blocks]
-        work = self._transpose_xy(work)
-        work = [self.fft.ifft(b, axis=1) for b in work]
-        work = self._transpose_yz(work)
-        return [self.fft.ifft(b, axis=2) for b in work]
+        reg = get_registry()
+        with reg.span("fft.pencil.inverse"):
+            work = [self.fft.ifft(b, axis=0) for b in blocks]
+            work = self._transpose_xy(work)
+            work = [self.fft.ifft(b, axis=1) for b in work]
+            work = self._transpose_yz(work)
+            out = [self.fft.ifft(b, axis=2) for b in work]
+        reg.count("fft.inverse_points", self.n**3)
+        return out
 
     # ------------------------------------------------------------------
     def transpose_bytes_per_rank(self) -> int:

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.instrument import get_registry
+
 __all__ = ["cic_deposit", "cic_interpolate", "density_contrast", "cic_window"]
 
 
@@ -57,31 +59,34 @@ def cic_deposit(
     (n, n, n) float64 array whose sum equals the total deposited mass
     (exact mass conservation — a property test pins this down).
     """
-    base, frac = _corner_data(positions, n, box_size)
-    npart = base.shape[0]
-    w = (
-        np.ones(npart, dtype=np.float64)
-        if weights is None
-        else np.asarray(weights, dtype=np.float64)
-    )
-    if w.shape != (npart,):
-        raise ValueError(f"weights shape {w.shape} != ({npart},)")
+    reg = get_registry()
+    with reg.span("cic.deposit"):
+        base, frac = _corner_data(positions, n, box_size)
+        npart = base.shape[0]
+        w = (
+            np.ones(npart, dtype=np.float64)
+            if weights is None
+            else np.asarray(weights, dtype=np.float64)
+        )
+        if w.shape != (npart,):
+            raise ValueError(f"weights shape {w.shape} != ({npart},)")
 
-    grid = np.zeros(n * n * n, dtype=np.float64)
-    ip1 = (base + 1) % n
-    for dx in (0, 1):
-        ix = base[:, 0] if dx == 0 else ip1[:, 0]
-        wx = (1.0 - frac[:, 0]) if dx == 0 else frac[:, 0]
-        for dy in (0, 1):
-            iy = base[:, 1] if dy == 0 else ip1[:, 1]
-            wy = (1.0 - frac[:, 1]) if dy == 0 else frac[:, 1]
-            for dz in (0, 1):
-                iz = base[:, 2] if dz == 0 else ip1[:, 2]
-                wz = (1.0 - frac[:, 2]) if dz == 0 else frac[:, 2]
-                flat = (ix * n + iy) * n + iz
-                grid += np.bincount(
-                    flat, weights=w * wx * wy * wz, minlength=n * n * n
-                )
+        grid = np.zeros(n * n * n, dtype=np.float64)
+        ip1 = (base + 1) % n
+        for dx in (0, 1):
+            ix = base[:, 0] if dx == 0 else ip1[:, 0]
+            wx = (1.0 - frac[:, 0]) if dx == 0 else frac[:, 0]
+            for dy in (0, 1):
+                iy = base[:, 1] if dy == 0 else ip1[:, 1]
+                wy = (1.0 - frac[:, 1]) if dy == 0 else frac[:, 1]
+                for dz in (0, 1):
+                    iz = base[:, 2] if dz == 0 else ip1[:, 2]
+                    wz = (1.0 - frac[:, 2]) if dz == 0 else frac[:, 2]
+                    flat = (ix * n + iy) * n + iz
+                    grid += np.bincount(
+                        flat, weights=w * wx * wy * wz, minlength=n * n * n
+                    )
+        reg.count("cic.deposit_particles", npart)
     return grid.reshape(n, n, n)
 
 
@@ -94,23 +99,26 @@ def cic_interpolate(
     the PM force momentum conserving (no self-force), which the force
     tests check by measuring the net force on isolated particles.
     """
-    grid = np.asarray(grid)
-    n = grid.shape[0]
-    if grid.shape != (n, n, n):
-        raise ValueError(f"grid must be cubic, got shape {grid.shape}")
-    base, frac = _corner_data(positions, n, box_size)
-    ip1 = (base + 1) % n
-    out = np.zeros(base.shape[0], dtype=np.float64)
-    for dx in (0, 1):
-        ix = base[:, 0] if dx == 0 else ip1[:, 0]
-        wx = (1.0 - frac[:, 0]) if dx == 0 else frac[:, 0]
-        for dy in (0, 1):
-            iy = base[:, 1] if dy == 0 else ip1[:, 1]
-            wy = (1.0 - frac[:, 1]) if dy == 0 else frac[:, 1]
-            for dz in (0, 1):
-                iz = base[:, 2] if dz == 0 else ip1[:, 2]
-                wz = (1.0 - frac[:, 2]) if dz == 0 else frac[:, 2]
-                out += grid[ix, iy, iz] * (wx * wy * wz)
+    reg = get_registry()
+    with reg.span("cic.interpolate"):
+        grid = np.asarray(grid)
+        n = grid.shape[0]
+        if grid.shape != (n, n, n):
+            raise ValueError(f"grid must be cubic, got shape {grid.shape}")
+        base, frac = _corner_data(positions, n, box_size)
+        ip1 = (base + 1) % n
+        out = np.zeros(base.shape[0], dtype=np.float64)
+        for dx in (0, 1):
+            ix = base[:, 0] if dx == 0 else ip1[:, 0]
+            wx = (1.0 - frac[:, 0]) if dx == 0 else frac[:, 0]
+            for dy in (0, 1):
+                iy = base[:, 1] if dy == 0 else ip1[:, 1]
+                wy = (1.0 - frac[:, 1]) if dy == 0 else frac[:, 1]
+                for dz in (0, 1):
+                    iz = base[:, 2] if dz == 0 else ip1[:, 2]
+                    wz = (1.0 - frac[:, 2]) if dz == 0 else frac[:, 2]
+                    out += grid[ix, iy, iz] * (wx * wy * wz)
+        reg.count("cic.interp_particles", base.shape[0])
     return out
 
 

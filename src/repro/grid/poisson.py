@@ -29,6 +29,7 @@ import numpy as np
 from repro.cosmology.gaussian_field import fourier_grid
 from repro.fft.pencil import PencilFFT
 from repro.grid.cic import cic_deposit, cic_interpolate
+from repro.instrument import get_registry
 from repro.grid.filters import (
     NOMINAL_NS,
     NOMINAL_SIGMA,
@@ -104,13 +105,17 @@ class SpectralPoissonSolver:
                 f"delta_k shape {delta_k.shape} != rfft grid "
                 f"{self._filter_green.shape}"
             )
-        return delta_k * self._filter_green
+        reg = get_registry()
+        with reg.span("poisson.filter"):
+            out = delta_k * self._filter_green
+        reg.count("poisson.filter_points", delta_k.size)
+        return out
 
     def potential(self, delta: np.ndarray) -> np.ndarray:
         """Filtered potential ``phi`` with ``del^2 phi = delta``."""
         self._check_grid(delta)
-        phi_k = self.potential_k(np.fft.rfftn(delta))
-        return np.fft.irfftn(phi_k, s=(self.n,) * 3, axes=(0, 1, 2))
+        phi_k = self.potential_k(self._forward(delta))
+        return self._inverse(phi_k)
 
     def force_grids(self, delta: np.ndarray) -> tuple[np.ndarray, ...]:
         """Force components ``-d phi / d x_i`` on the grid.
@@ -119,12 +124,31 @@ class SpectralPoissonSolver:
         exactly the paper's FFT count per long-range force evaluation.
         """
         self._check_grid(delta)
-        phi_k = self.potential_k(np.fft.rfftn(delta))
-        shape = (self.n,) * 3
-        return tuple(
-            np.fft.irfftn(-kernel * phi_k, s=shape, axes=(0, 1, 2))
-            for kernel in self._grad_kernels
-        )
+        phi_k = self.potential_k(self._forward(delta))
+        reg = get_registry()
+        out = []
+        for kernel in self._grad_kernels:
+            with reg.span("poisson.filter"):
+                grad_k = -kernel * phi_k
+            out.append(self._inverse(grad_k))
+        return tuple(out)
+
+    # ------------------------------------------------------------------
+    # instrumented transforms
+    # ------------------------------------------------------------------
+    def _forward(self, delta: np.ndarray) -> np.ndarray:
+        reg = get_registry()
+        with reg.span("fft.forward"):
+            out = np.fft.rfftn(delta)
+        reg.count("fft.forward_points", delta.size)
+        return out
+
+    def _inverse(self, field_k: np.ndarray) -> np.ndarray:
+        reg = get_registry()
+        with reg.span("fft.inverse"):
+            out = np.fft.irfftn(field_k, s=(self.n,) * 3, axes=(0, 1, 2))
+        reg.count("fft.inverse_points", out.size)
+        return out
 
     # ------------------------------------------------------------------
     # particle-level operation (the full PM force)

@@ -1,0 +1,67 @@
+"""Instrumentation: hierarchical span timers, counters, step records.
+
+The observability layer that turns the reproduction's hot paths into the
+paper's per-kernel accounting (Table II attributes time and flops to CIC
+deposit, FFT, spectral filtering, tree walk and the PP kernel; HACC
+itself ships built-in per-section timers, cf. arXiv:1410.2805).
+
+Design
+------
+A process-global *registry* collects:
+
+* **spans** — named, nested wall-clock sections entered via the
+  :func:`span` context manager or the :func:`timed` decorator.  Nesting
+  is tracked per thread (a thread-local stack), aggregation is protected
+  by a single lock, and the clock is injected so tests are deterministic;
+* **counters** — monotonically accumulated quantities (PP interactions,
+  flops, FFT points, communication bytes);
+* **step records** — per-simulation-step snapshots of section times and
+  counter deltas, the unit the paper's scaling tables are built from.
+
+The default registry is a :class:`NullRegistry` whose ``span`` returns a
+shared no-op context manager and whose ``count`` does nothing: with
+profiling disabled the hot paths take **no locks and perform no
+allocations** (a test pins this down).  Call :func:`enable` to install a
+live :class:`Registry`, :func:`disable` to go back to the no-op.
+
+Exporters (:mod:`repro.instrument.exporters`) serialize a registry to
+JSON-lines, CSV, and Chrome ``trace_event`` JSON; the reporting surface
+(:mod:`repro.instrument.report`) renders the measured-vs-model table and
+machine-readable ``BENCH_*.json`` records.
+"""
+
+from repro.instrument.registry import (
+    Counter,
+    FakeClock,
+    NullRegistry,
+    Registry,
+    SpanEvent,
+    StepRecord,
+    count,
+    disable,
+    enable,
+    get_registry,
+    set_registry,
+    span,
+    timed,
+    use,
+)
+from repro.instrument.logconfig import logging_setup
+
+__all__ = [
+    "Counter",
+    "FakeClock",
+    "NullRegistry",
+    "Registry",
+    "SpanEvent",
+    "StepRecord",
+    "count",
+    "disable",
+    "enable",
+    "get_registry",
+    "logging_setup",
+    "set_registry",
+    "span",
+    "timed",
+    "use",
+]

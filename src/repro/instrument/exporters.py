@@ -1,0 +1,227 @@
+"""Serialize a registry to JSON-lines, CSV, and Chrome ``trace_event``.
+
+All writers accept either a filesystem path or an open text file and all
+have a matching loader, so the round trip is testable without touching
+external tooling.  The Chrome format follows the ``trace_event`` spec's
+complete-event (``"ph": "X"``) form: load the file at ``chrome://tracing``
+or https://ui.perfetto.dev to see the span hierarchy of a run.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+from repro.instrument.registry import NullRegistry, Registry, SpanEvent
+
+__all__ = [
+    "write_jsonl",
+    "load_jsonl",
+    "write_csv",
+    "load_csv",
+    "write_chrome_trace",
+    "load_chrome_trace",
+    "spans_nest",
+    "to_jsonl_string",
+]
+
+_CSV_FIELDS = ("name", "path", "start", "end", "duration", "thread")
+
+
+@contextmanager
+def _open_text(dest, mode: str) -> Iterator:
+    """Yield a text file for a path-or-file destination."""
+    if isinstance(dest, (str, Path)):
+        with open(dest, mode, encoding="utf-8", newline="") as fh:
+            yield fh
+    else:
+        yield dest
+
+
+# ----------------------------------------------------------------------
+# JSON lines
+# ----------------------------------------------------------------------
+def write_jsonl(registry: Registry | NullRegistry, dest) -> int:
+    """One JSON object per line: span events, then counters, then steps.
+
+    Returns the number of lines written.  Record kinds are tagged with a
+    ``"kind"`` field so a stream parser needs no lookahead.
+    """
+    lines = 0
+    with _open_text(dest, "w") as fh:
+        for ev in registry.events:
+            fh.write(json.dumps({"kind": "span", **ev.to_dict()}) + "\n")
+            lines += 1
+        for name, value in sorted(registry.counters.items()):
+            fh.write(
+                json.dumps({"kind": "counter", "name": name, "value": value})
+                + "\n"
+            )
+            lines += 1
+        for step in registry.steps:
+            fh.write(json.dumps({"kind": "step", **step.to_dict()}) + "\n")
+            lines += 1
+    return lines
+
+
+def load_jsonl(src) -> dict:
+    """Inverse of :func:`write_jsonl`.
+
+    Returns ``{"spans": [SpanEvent...], "counters": {...}, "steps": [...]}``
+    (steps as plain dicts).
+    """
+    spans: list[SpanEvent] = []
+    counters: dict[str, float] = {}
+    steps: list[dict] = []
+    with _open_text(src, "r") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            kind = rec.pop("kind")
+            if kind == "span":
+                spans.append(SpanEvent(**rec))
+            elif kind == "counter":
+                counters[rec["name"]] = rec["value"]
+            elif kind == "step":
+                steps.append(rec)
+            else:
+                raise ValueError(f"unknown record kind {kind!r}")
+    return {"spans": spans, "counters": counters, "steps": steps}
+
+
+# ----------------------------------------------------------------------
+# CSV (span events only — the spreadsheet-friendly view)
+# ----------------------------------------------------------------------
+def write_csv(registry: Registry | NullRegistry, dest) -> int:
+    """Span events as CSV with a header row; returns the event count."""
+    events = registry.events
+    with _open_text(dest, "w") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_CSV_FIELDS)
+        for ev in events:
+            writer.writerow(
+                [ev.name, ev.path, repr(ev.start), repr(ev.end),
+                 repr(ev.duration), ev.thread]
+            )
+    return len(events)
+
+
+def load_csv(src) -> list[SpanEvent]:
+    """Inverse of :func:`write_csv` (durations are recomputed)."""
+    with _open_text(src, "r") as fh:
+        reader = csv.DictReader(fh)
+        return [
+            SpanEvent(
+                name=row["name"],
+                path=row["path"],
+                start=float(row["start"]),
+                end=float(row["end"]),
+                thread=int(row["thread"]),
+            )
+            for row in reader
+        ]
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event
+# ----------------------------------------------------------------------
+def write_chrome_trace(registry: Registry | NullRegistry, dest) -> int:
+    """Chrome ``trace_event`` JSON (complete events, microsecond units).
+
+    Counters are attached as ``"ph": "C"`` counter events at the end of
+    the trace so they show up as tracks in the viewer.  Returns the
+    number of trace events written.
+    """
+    events = registry.events
+    trace = [
+        {
+            "name": ev.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": ev.start * 1e6,
+            "dur": ev.duration * 1e6,
+            "pid": 0,
+            "tid": ev.thread,
+            "args": {"path": ev.path},
+        }
+        for ev in events
+    ]
+    t_end = max((ev.end for ev in events), default=0.0)
+    for name, value in sorted(registry.counters.items()):
+        trace.append(
+            {
+                "name": name,
+                "cat": "repro",
+                "ph": "C",
+                "ts": t_end * 1e6,
+                "pid": 0,
+                "args": {"value": value},
+            }
+        )
+    with _open_text(dest, "w") as fh:
+        json.dump({"traceEvents": trace, "displayTimeUnit": "ms"}, fh)
+    return len(trace)
+
+
+def load_chrome_trace(src) -> dict:
+    """Inverse of :func:`write_chrome_trace`.
+
+    Returns ``{"spans": [SpanEvent...], "counters": {...}}``; span paths
+    are recovered from the ``args.path`` attachment.
+    """
+    with _open_text(src, "r") as fh:
+        payload = json.load(fh)
+    spans: list[SpanEvent] = []
+    counters: dict[str, float] = {}
+    for ev in payload["traceEvents"]:
+        if ev["ph"] == "X":
+            start = ev["ts"] / 1e6
+            spans.append(
+                SpanEvent(
+                    name=ev["name"],
+                    path=ev["args"]["path"],
+                    start=start,
+                    end=start + ev["dur"] / 1e6,
+                    thread=ev["tid"],
+                )
+            )
+        elif ev["ph"] == "C":
+            counters[ev["name"]] = ev["args"]["value"]
+    return {"spans": spans, "counters": counters}
+
+
+def spans_nest(spans: list[SpanEvent]) -> bool:
+    """Check the parenthesis property: child spans lie inside parents.
+
+    For every span whose ``path`` names a parent, some event with the
+    parent path must enclose it in time on the same thread.  Used by the
+    round-trip tests to confirm exported traces preserve the hierarchy.
+    """
+    eps = 1e-12
+    by_path: dict[tuple[int, str], list[SpanEvent]] = {}
+    for ev in spans:
+        by_path.setdefault((ev.thread, ev.path), []).append(ev)
+    for ev in spans:
+        if "/" not in ev.path:
+            continue
+        parent_path = ev.path.rsplit("/", 1)[0]
+        parents = by_path.get((ev.thread, parent_path), [])
+        if not any(
+            p.start <= ev.start + eps and ev.end <= p.end + eps
+            for p in parents
+        ):
+            return False
+    return True
+
+
+def to_jsonl_string(registry: Registry | NullRegistry) -> str:
+    """Convenience: the JSON-lines export as an in-memory string."""
+    buf = io.StringIO()
+    write_jsonl(registry, buf)
+    return buf.getvalue()

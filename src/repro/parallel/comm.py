@@ -24,6 +24,8 @@ from typing import Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro.instrument import get_registry
+
 __all__ = ["CommStats", "SimulatedComm"]
 
 
@@ -36,12 +38,24 @@ class CommStats:
     by_tag: dict = field(default_factory=lambda: defaultdict(lambda: [0, 0]))
 
     def record(self, n_messages: int, n_bytes: int, tag: str) -> None:
-        """Add ``n_messages`` totalling ``n_bytes`` under phase ``tag``."""
+        """Add ``n_messages`` totalling ``n_bytes`` under phase ``tag``.
+
+        Traffic is mirrored into the active instrument registry (no-op by
+        default) as ``comm.messages`` / ``comm.bytes`` totals plus a
+        per-tag ``comm.bytes[<tag>]`` breakdown, so profiled runs report
+        message volume — notably the FFT transpose volume — alongside the
+        section timers.
+        """
         self.messages += int(n_messages)
         self.bytes += int(n_bytes)
         entry = self.by_tag[tag]
         entry[0] += int(n_messages)
         entry[1] += int(n_bytes)
+        reg = get_registry()
+        if reg.enabled:
+            reg.count("comm.messages", int(n_messages))
+            reg.count("comm.bytes", int(n_bytes))
+            reg.count(f"comm.bytes[{tag}]", int(n_bytes))
 
     def reset(self) -> None:
         """Zero all counters."""

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.instrument import Counter, get_registry
 from repro.shortrange.grid_force import GridForceFit
 
 __all__ = ["ShortRangeKernel"]
@@ -68,7 +69,9 @@ class ShortRangeKernel:
             raise ValueError(f"eps_cells must be >= 0: {self.eps_cells}")
         self.rcut = self.fit.rcut_cells * self.spacing
         self.rcut2 = self.rcut * self.rcut
-        self.interaction_count = 0  # cumulative pair evaluations (perf model)
+        #: cumulative pair evaluations (perf model); an instrument Counter
+        #: so the profiler and the simulation report the same number
+        self._interactions = Counter("pp.interactions")
 
     # ------------------------------------------------------------------
     def f_sr_cells(self, s_cells) -> np.ndarray:
@@ -134,21 +137,30 @@ class ShortRangeKernel:
         out = np.zeros((nt, 3), dtype=np.float64)
         if nsrc == 0 or nt == 0:
             return out
-        inv_sp2 = self.dtype(1.0 / self.spacing**2)
-        inv_sp3 = self.dtype(1.0 / self.spacing**3)
-        for lo in range(0, nt, chunk):
-            hi = min(lo + chunk, nt)
-            d = t[lo:hi, None, :] - src[None, :, :]  # (c, Ns, 3)
-            s_c = np.einsum("ijk,ijk->ij", d, d) * inv_sp2
-            f = self.f_sr_cells(s_c) * (inv_sp3 * m[None, :])
-            out[lo:hi] = -np.einsum("ij,ijk->ik", f, d)
-        self.interaction_count += nt * nsrc
+        reg = get_registry()
+        with reg.span("pp.kernel"):
+            inv_sp2 = self.dtype(1.0 / self.spacing**2)
+            inv_sp3 = self.dtype(1.0 / self.spacing**3)
+            for lo in range(0, nt, chunk):
+                hi = min(lo + chunk, nt)
+                d = t[lo:hi, None, :] - src[None, :, :]  # (c, Ns, 3)
+                s_c = np.einsum("ijk,ijk->ij", d, d) * inv_sp2
+                f = self.f_sr_cells(s_c) * (inv_sp3 * m[None, :])
+                out[lo:hi] = -np.einsum("ij,ijk->ik", f, d)
+        self._interactions.add(nt * nsrc)
+        reg.count("pp.flops", FLOPS_PER_INTERACTION * nt * nsrc)
         return out
 
     # ------------------------------------------------------------------
+    @property
+    def interaction_count(self) -> int:
+        """Cumulative pair evaluations (backed by the ``pp.interactions``
+        instrument counter)."""
+        return self._interactions.value
+
     def flops(self) -> float:
         """Flops represented by the interactions evaluated so far."""
         return FLOPS_PER_INTERACTION * self.interaction_count
 
     def reset_counters(self) -> None:
-        self.interaction_count = 0
+        self._interactions.reset()

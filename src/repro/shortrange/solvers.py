@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.instrument import get_registry
 from repro.shortrange.kernel import ShortRangeKernel
 from repro.shortrange.rcb_tree import RCBTree
 
@@ -157,7 +158,10 @@ class TreePMShortRange(ShortRangeSolver):
         self.last_list_sizes: np.ndarray | None = None
 
     def accelerations_cloud(self, positions, masses, n_targets):
-        tree = RCBTree(positions, masses, leaf_size=self.leaf_size)
+        reg = get_registry()
+        with reg.span("tree.build"):
+            tree = RCBTree(positions, masses, leaf_size=self.leaf_size)
+        reg.count("tree.build_particles", positions.shape[0])
         acc = np.zeros((positions.shape[0], 3), dtype=np.float64)
         rcut = self.kernel.rcut
         sizes = []
@@ -168,7 +172,8 @@ class TreePMShortRange(ShortRangeSolver):
             tgt_orig = tree.perm[seg]
             if not np.any(tgt_orig < n_targets):
                 continue
-            ilist = tree.interaction_list(leaf, rcut)
+            with reg.span("tree.walk"):
+                ilist = tree.interaction_list(leaf, rcut)
             sizes.append(ilist.size)
             contrib = self.kernel.accumulate(
                 tree.positions[seg],
@@ -176,6 +181,7 @@ class TreePMShortRange(ShortRangeSolver):
                 tree.masses[ilist],
             )
             acc[tgt_orig] = contrib
+        reg.count("tree.list_length", int(sum(sizes)))
         self.last_list_sizes = np.asarray(sizes, dtype=np.int64)
         return acc[:n_targets]
 
@@ -194,24 +200,25 @@ class P3MShortRange(ShortRangeSolver):
         n_cloud = pos.shape[0]
         acc = np.zeros((n_cloud, 3), dtype=np.float64)
         rcut = self.kernel.rcut
-        lo = pos.min(axis=0) - 1e-9
-        hi = pos.max(axis=0) + 1e-9
-        extent = np.maximum(hi - lo, rcut)
-        ncell = np.maximum((extent / rcut).astype(np.int64), 1)
-        cell_of = np.minimum(
-            ((pos - lo) / extent * ncell).astype(np.int64), ncell - 1
-        )
-        flat = (cell_of[:, 0] * ncell[1] + cell_of[:, 1]) * ncell[2] + cell_of[
-            :, 2
-        ]
-        order = np.argsort(flat, kind="stable")
-        sorted_flat = flat[order]
-        uniq, starts = np.unique(sorted_flat, return_index=True)
-        starts = np.append(starts, n_cloud)
-        members = {
-            int(u): order[starts[i] : starts[i + 1]]
-            for i, u in enumerate(uniq)
-        }
+        with get_registry().span("p3m.binning"):
+            lo = pos.min(axis=0) - 1e-9
+            hi = pos.max(axis=0) + 1e-9
+            extent = np.maximum(hi - lo, rcut)
+            ncell = np.maximum((extent / rcut).astype(np.int64), 1)
+            cell_of = np.minimum(
+                ((pos - lo) / extent * ncell).astype(np.int64), ncell - 1
+            )
+            flat = (
+                cell_of[:, 0] * ncell[1] + cell_of[:, 1]
+            ) * ncell[2] + cell_of[:, 2]
+            order = np.argsort(flat, kind="stable")
+            sorted_flat = flat[order]
+            uniq, starts = np.unique(sorted_flat, return_index=True)
+            starts = np.append(starts, n_cloud)
+            members = {
+                int(u): order[starts[i] : starts[i + 1]]
+                for i, u in enumerate(uniq)
+            }
 
         def cell_id(cx, cy, cz):
             if not (

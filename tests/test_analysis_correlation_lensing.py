@@ -25,6 +25,7 @@ class TestXiFromPower:
         r0 = r[np.argmin(np.abs(xi - 1.0))]
         assert 3.0 < r0 < 9.0
 
+    @pytest.mark.slow
     def test_bao_bump(self, linear_power):
         """The acoustic feature appears near 105 Mpc/h: xi has a local
         maximum between 90 and 120 Mpc/h (BOSS-era science — the paper's
@@ -39,6 +40,7 @@ class TestXiFromPower:
         r_peak = r[1:-1][peaks[0]]
         assert 90.0 < r_peak < 120.0
 
+    @pytest.mark.slow
     def test_growth_scaling(self, linear_power):
         d = WMAP7.growth_factor(0.5)
         xi_now = xi_from_power(linear_power, 10.0, 1.0)
@@ -129,6 +131,7 @@ class TestLensing:
         deep = convergence_power(linear_power, ell, z_source=1.5)
         assert deep[0] > shallow[0]
 
+    @pytest.mark.slow
     def test_nonlinear_boost_at_high_ell(self, linear_power):
         """HALOFIT raises the convergence power at small angular scales
         — the accuracy-critical regime from Section I."""

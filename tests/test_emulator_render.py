@@ -58,6 +58,7 @@ class TestParameterBox:
             ParameterBox(omega_m=(0.3, 0.3))
 
 
+@pytest.mark.slow
 class TestEmulator:
     """One emulator instance per module: training runs the forward model
     24 times (~15 s with HALOFIT)."""

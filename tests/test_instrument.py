@@ -1,0 +1,502 @@
+"""Tests for the instrumentation subsystem (repro.instrument).
+
+Everything timing-related runs against an injected FakeClock so the
+suite is deterministic; only the thread-safety tests use the real clock
+(they assert counts and nesting, never durations).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro import instrument
+from repro.config import SimulationConfig
+from repro.core.simulation import HACCSimulation
+from repro.instrument import (
+    Counter,
+    FakeClock,
+    NullRegistry,
+    Registry,
+    count,
+    get_registry,
+    span,
+    timed,
+    use,
+)
+from repro.instrument import exporters, report
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def registry(clock):
+    """A live registry installed as the active one for the test."""
+    reg = Registry(clock=clock)
+    with use(reg):
+        yield reg
+
+
+@pytest.fixture(autouse=True)
+def _restore_null_registry():
+    """Never leak an enabled registry into other tests."""
+    yield
+    instrument.disable()
+
+
+def tiny_sim(**kwargs):
+    base = dict(
+        box_size=64.0,
+        n_per_dim=8,
+        z_initial=25.0,
+        z_final=10.0,
+        n_steps=2,
+        backend="pm",
+        seed=5,
+    )
+    base.update(kwargs)
+    return HACCSimulation(SimulationConfig(**base))
+
+
+# ----------------------------------------------------------------------
+# spans
+# ----------------------------------------------------------------------
+class TestSpans:
+    def test_single_span_duration(self, registry, clock):
+        with registry.span("work"):
+            clock.advance(2.5)
+        assert registry.section_seconds("work") == 2.5
+        assert registry.section_totals()["work"]["calls"] == 1
+
+    def test_nested_spans_paths_and_totals(self, registry, clock):
+        with registry.span("outer"):
+            clock.advance(1.0)
+            with registry.span("inner"):
+                clock.advance(0.25)
+            with registry.span("inner"):
+                clock.advance(0.25)
+        totals = registry.section_totals()
+        assert totals["outer"] == {"calls": 1, "seconds": 1.5}
+        assert totals["inner"] == {"calls": 2, "seconds": 0.5}
+        paths = registry.path_totals()
+        assert paths["outer/inner"]["calls"] == 2
+        events = registry.events
+        assert {e.path for e in events} == {"outer", "outer/inner"}
+
+    def test_deep_nesting_path(self, registry, clock):
+        with registry.span("a"), registry.span("b"), registry.span("c"):
+            clock.advance(1.0)
+        assert "a/b/c" in registry.path_totals()
+
+    def test_module_level_span_uses_active_registry(self, registry, clock):
+        with span("modlevel"):
+            clock.advance(0.5)
+        assert registry.section_seconds("modlevel") == 0.5
+
+    def test_exception_still_closes_span(self, registry, clock):
+        with pytest.raises(RuntimeError):
+            with registry.span("boom"):
+                clock.advance(1.0)
+                raise RuntimeError("kaput")
+        assert registry.section_seconds("boom") == 1.0
+
+    def test_timed_decorator(self, registry, clock):
+        @timed("decorated")
+        def work(x):
+            clock.advance(0.75)
+            return 2 * x
+
+        assert work(21) == 42
+        assert registry.section_seconds("decorated") == 0.75
+
+    def test_timed_decorator_respects_disable(self, clock):
+        @timed("decorated")
+        def work():
+            clock.advance(1.0)
+
+        reg = Registry(clock=clock)
+        with use(reg):
+            work()
+        work()  # after restore: null registry, not recorded
+        assert reg.section_totals()["decorated"]["calls"] == 1
+
+    def test_max_events_cap_keeps_aggregates(self, clock):
+        reg = Registry(clock=clock, max_events=3)
+        with use(reg):
+            for _ in range(10):
+                with reg.span("s"):
+                    clock.advance(0.1)
+        assert len(reg.events) == 3
+        assert reg.dropped_events == 7
+        assert reg.section_totals()["s"]["calls"] == 10
+
+    def test_reset(self, registry, clock):
+        with registry.span("s"):
+            clock.advance(1.0)
+        registry.count("c", 5)
+        registry.reset()
+        assert registry.events == []
+        assert registry.counters == {}
+        assert registry.section_totals() == {}
+
+
+# ----------------------------------------------------------------------
+# counters
+# ----------------------------------------------------------------------
+class TestCounters:
+    def test_accumulation(self, registry):
+        registry.count("x")
+        registry.count("x", 4)
+        count("y", 2.5)
+        assert registry.counters == {"x": 5, "y": 2.5}
+        assert registry.counter("x") == 5
+        assert registry.counter("missing") == 0
+
+    def test_counter_object_mirrors_into_registry(self, registry):
+        c = Counter("pairs")
+        c.add(10)
+        c.add(32)
+        assert c.value == 42
+        assert registry.counter("pairs") == 42
+
+    def test_counter_object_counts_while_disabled(self):
+        c = Counter("pairs")
+        c.add(7)  # no live registry: own value still accumulates
+        assert c.value == 7
+        assert get_registry().counter("pairs") == 0
+        c.reset()
+        assert c.value == 0
+
+
+# ----------------------------------------------------------------------
+# step records
+# ----------------------------------------------------------------------
+class TestStepRecords:
+    def test_step_deltas(self, registry, clock):
+        with registry.step(0):
+            with registry.span("force"):
+                clock.advance(1.0)
+            registry.count("pairs", 100)
+        with registry.step(1):
+            with registry.span("force"):
+                clock.advance(3.0)
+            registry.count("pairs", 50)
+        steps = registry.steps
+        assert [s.index for s in steps] == [0, 1]
+        assert steps[0].sections["force"] == 1.0
+        assert steps[1].sections["force"] == 3.0
+        assert steps[0].counters["pairs"] == 100
+        assert steps[1].counters["pairs"] == 50
+        assert steps[1].wall_time == 3.0
+        assert steps[1].calls["force"] == 1
+
+
+# ----------------------------------------------------------------------
+# exporters: round trips
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def populated(registry, clock):
+    with registry.step(0):
+        with registry.span("step"):
+            with registry.span("longrange"):
+                clock.advance(1.0)
+                with registry.span("fft.forward"):
+                    clock.advance(0.5)
+            with registry.span("shortrange"):
+                clock.advance(2.0)
+    registry.count("pp.interactions", 1234)
+    return registry
+
+
+class TestExporters:
+    def test_jsonl_round_trip(self, populated, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        n = exporters.write_jsonl(populated, path)
+        loaded = exporters.load_jsonl(path)
+        assert n == len(loaded["spans"]) + len(loaded["counters"]) + len(
+            loaded["steps"]
+        )
+        assert loaded["spans"] == populated.events
+        assert loaded["counters"] == {"pp.interactions": 1234}
+        assert loaded["steps"][0]["index"] == 0
+
+    def test_csv_round_trip(self, populated, tmp_path):
+        path = tmp_path / "trace.csv"
+        n = exporters.write_csv(populated, path)
+        loaded = exporters.load_csv(path)
+        assert n == len(loaded)
+        assert loaded == populated.events
+
+    def test_chrome_trace_round_trip_and_nesting(self, populated, tmp_path):
+        path = tmp_path / "trace.json"
+        exporters.write_chrome_trace(populated, path)
+        with open(path, encoding="utf-8") as fh:
+            raw = json.load(fh)
+        assert "traceEvents" in raw  # loadable by chrome://tracing
+        loaded = exporters.load_chrome_trace(path)
+        assert loaded["counters"] == {"pp.interactions": 1234}
+        spans = loaded["spans"]
+        assert sorted(s.name for s in spans) == sorted(
+            e.name for e in populated.events
+        )
+        assert exporters.spans_nest(spans)
+        by_name = {s.name: s for s in spans}
+        fft = by_name["fft.forward"]
+        lr = by_name["longrange"]
+        assert fft.path == "step/longrange/fft.forward"
+        assert lr.start <= fft.start and fft.end <= lr.end
+
+    def test_spans_nest_rejects_overlap(self):
+        bad = [
+            exporters.SpanEvent("p", "p", 0.0, 1.0, 1),
+            exporters.SpanEvent("c", "p/c", 0.5, 2.0, 1),  # leaks out
+        ]
+        assert not exporters.spans_nest(bad)
+
+    def test_file_object_destinations(self, populated):
+        buf = io.StringIO()
+        exporters.write_jsonl(populated, buf)
+        buf.seek(0)
+        assert exporters.load_jsonl(buf)["spans"] == populated.events
+
+
+# ----------------------------------------------------------------------
+# thread safety
+# ----------------------------------------------------------------------
+class TestThreadSafety:
+    def test_concurrent_spans_and_counters(self):
+        reg = Registry()  # real clock: assertions are count-based
+        n_threads, n_iter = 8, 200
+
+        def work(tid):
+            for _ in range(n_iter):
+                with reg.span("outer"):
+                    with reg.span("inner"):
+                        reg.count("ticks", 1)
+
+        with use(reg):
+            with ThreadPoolExecutor(max_workers=n_threads) as pool:
+                list(pool.map(work, range(n_threads)))
+        totals = reg.section_totals()
+        assert totals["outer"]["calls"] == n_threads * n_iter
+        assert totals["inner"]["calls"] == n_threads * n_iter
+        assert reg.counter("ticks") == n_threads * n_iter
+        # per-thread nesting survived concurrency
+        assert all(
+            e.path in ("outer", "outer/inner") for e in reg.events
+        )
+        assert exporters.spans_nest(reg.events)
+
+    def test_threads_have_independent_stacks(self):
+        reg = Registry()
+        barrier = threading.Barrier(2)
+
+        def work(name):
+            with reg.span(name):
+                barrier.wait(timeout=10)
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            list(pool.map(work, ["a", "b"]))
+        paths = {e.path for e in reg.events}
+        assert paths == {"a", "b"}  # neither nested under the other
+
+
+# ----------------------------------------------------------------------
+# disabled (no-op) path
+# ----------------------------------------------------------------------
+class TestDisabledPath:
+    def test_default_registry_is_null(self):
+        assert isinstance(get_registry(), NullRegistry)
+        assert not get_registry().enabled
+
+    def test_null_span_is_shared_singleton(self):
+        null = NullRegistry()
+        s1 = null.span("a")
+        s2 = null.span("b")
+        assert s1 is s2  # no allocation per span on the disabled hot path
+
+    def test_null_records_nothing(self):
+        null = NullRegistry()
+        with null.span("a"):
+            pass
+        null.count("c", 3)
+        with null.step(0):
+            pass
+        assert null.events == []
+        assert null.counters == {}
+        assert null.steps == []
+        assert null.summary()["enabled"] is False
+
+    def test_simulation_run_disabled_leaves_no_trace(self):
+        sim = tiny_sim()
+        sim.run()
+        assert get_registry().events == []
+        assert get_registry().counters == {}
+        # legacy driver timings still work without instrumentation
+        assert sim.timings["long_range"] > 0
+
+    def test_use_restores_previous(self):
+        before = get_registry()
+        with use(Registry()):
+            assert get_registry() is not before
+        assert get_registry() is before
+
+
+# ----------------------------------------------------------------------
+# wired hot paths
+# ----------------------------------------------------------------------
+class TestSimulationIntegration:
+    def test_profiled_run_covers_table2_sections(self):
+        reg = instrument.enable()
+        sim = tiny_sim(backend="treepm", n_per_dim=8, n_steps=2,
+                       n_subcycles=2)
+        sim.run()
+        totals = reg.section_totals()
+        for name in (
+            "step", "longrange", "shortrange",
+            "cic.deposit", "fft.forward", "poisson.filter", "fft.inverse",
+            "cic.interpolate", "tree.build", "tree.walk", "pp.kernel",
+            "sks.stream", "sks.kick",
+        ):
+            assert totals.get(name, {}).get("seconds", 0) > 0, name
+        assert len(reg.steps) == 2
+        assert reg.counter("sks.substeps") == 4
+        assert exporters.spans_nest(reg.events)
+
+    def test_interaction_count_agrees_with_counter(self):
+        reg = instrument.enable()
+        sim = tiny_sim(backend="treepm", n_per_dim=8, n_steps=1)
+        sim.run()
+        assert sim.interaction_count() > 0
+        assert reg.counter("pp.interactions") == sim.interaction_count()
+        assert reg.counter("pp.flops") == pytest.approx(
+            21.0 * sim.interaction_count()
+        )
+
+    def test_pm_run_records_no_shortrange(self):
+        reg = instrument.enable()
+        sim = tiny_sim(backend="pm")
+        sim.run()
+        totals = reg.section_totals()
+        assert "pp.kernel" not in totals
+        assert totals["fft.forward"]["seconds"] > 0
+
+    def test_pencil_fft_sections_and_comm_counters(self):
+        from repro.fft.pencil import PencilFFT
+
+        reg = instrument.enable()
+        fft = PencilFFT(8, 2, 2)
+        x = np.random.default_rng(0).standard_normal((8, 8, 8))
+        k = fft.gather(fft.forward(fft.scatter(x.astype(complex))),
+                       "x-pencil")
+        assert np.allclose(k, np.fft.fftn(x))
+        totals = reg.section_totals()
+        for name in (
+            "fft.pencil.scatter", "fft.pencil.forward",
+            "fft.transpose.zy", "fft.transpose.yx", "fft.pencil.gather",
+        ):
+            assert name in totals, name
+        assert reg.counter("comm.bytes") > 0
+        assert reg.counter("comm.bytes[fft.transpose.zy]") > 0
+        # recorded transpose traffic matches the analytic per-rank count
+        analytic = fft.transpose_bytes_per_rank() * fft.size
+        recorded = reg.counter("comm.bytes[fft.transpose.zy]") + reg.counter(
+            "comm.bytes[fft.transpose.yx]"
+        )
+        assert recorded == analytic
+
+
+# ----------------------------------------------------------------------
+# report
+# ----------------------------------------------------------------------
+class TestReport:
+    def _profiled_registry(self):
+        reg = instrument.enable()
+        sim = tiny_sim(backend="treepm", n_per_dim=8, n_steps=1,
+                       n_subcycles=2)
+        sim.run()
+        return reg, sim
+
+    def test_section_table_rows(self):
+        reg, sim = self._profiled_registry()
+        table = report.section_table(reg)
+        by_label = {r["label"]: r for r in table}
+        assert set(by_label) == {
+            "CIC deposit", "forward FFT", "filter", "inverse FFT",
+            "CIC interpolate", "tree build", "tree walk", "PP kernel",
+            "stream/kick",
+        }
+        for row in table:
+            assert row["seconds"] > 0, row["label"]
+            assert 0 < row["model_fraction"] <= 1
+        pp = by_label["PP kernel"]
+        assert pp["counter"] == "pp.interactions"
+        assert pp["counter_value"] == sim.interaction_count()
+        assert pp["bucket"] == "kernel"
+        assert pp["model_fraction"] == pytest.approx(0.80)
+
+    def test_bucket_fractions_sum_to_one(self):
+        reg, _ = self._profiled_registry()
+        buckets = report.bucket_table(reg)
+        assert {b["bucket"] for b in buckets} == {
+            "kernel", "walk", "fft", "other"
+        }
+        assert sum(b["measured_fraction"] for b in buckets) == pytest.approx(
+            1.0
+        )
+        assert sum(b["model_fraction"] for b in buckets) == pytest.approx(1.0)
+
+    def test_render_profile_mentions_every_row(self):
+        reg, _ = self._profiled_registry()
+        text = report.render_profile(reg)
+        for label in ("CIC deposit", "forward FFT", "filter", "inverse FFT",
+                      "tree build", "PP kernel", "stream/kick", "model"):
+            assert label in text
+
+    def test_write_bench_record(self, tmp_path):
+        reg, sim = self._profiled_registry()
+        path = report.write_bench_record(
+            "unit/test", {"metric": 1.5}, directory=tmp_path, registry=reg
+        )
+        assert path.name == "BENCH_unit_test.json"
+        with open(path, encoding="utf-8") as fh:
+            rec = json.load(fh)
+        assert rec["payload"] == {"metric": 1.5}
+        assert rec["instrument"]["counters"]["pp.interactions"] == (
+            sim.interaction_count()
+        )
+        assert rec["instrument"]["sections"]["pp.kernel"]["seconds"] > 0
+
+
+# ----------------------------------------------------------------------
+# logging helper
+# ----------------------------------------------------------------------
+class TestLoggingSetup:
+    @pytest.mark.parametrize(
+        "verbosity, level",
+        [(-2, 30), (-1, 30), (0, 20), (1, 10), (3, 10)],
+    )
+    def test_levels(self, verbosity, level):
+        logger = instrument.logging_setup(verbosity, stream=io.StringIO())
+        assert logger.level == level
+
+    def test_idempotent_handler(self):
+        stream = io.StringIO()
+        logger = instrument.logging_setup(0, stream=stream)
+        instrument.logging_setup(0, stream=stream)
+        named = [h for h in logger.handlers if h.get_name() == "repro-cli"]
+        assert len(named) == 1
+
+    def test_messages_reach_stream(self):
+        stream = io.StringIO()
+        logger = instrument.logging_setup(0, stream=stream)
+        logger.info("hello from repro")
+        assert "hello from repro" in stream.getvalue()

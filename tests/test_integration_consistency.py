@@ -14,6 +14,7 @@ from repro.machine.paper_data import FULLCODE_TIME_SPLIT
 
 
 class TestFourierPair:
+    @pytest.mark.slow
     def test_pair_counts_dual_to_power_estimator(self, rng):
         """Estimator duality: xi(r) measured by pair counting equals the
         Hankel transform of the *measured* P(k) of the same particle
@@ -113,6 +114,7 @@ class TestModelOverlaps:
 
 
 class TestEndToEndDeterminism:
+    @pytest.mark.slow
     def test_full_stack_is_reproducible(self):
         """Same config => bitwise identical particles, spectra, halos —
         the property every regression above relies on."""
