@@ -1,0 +1,167 @@
+#!/usr/bin/env python
+"""Performance-regression gate over ``BENCH_*.json`` records.
+
+Every benchmark run leaves machine-readable ``BENCH_<name>.json`` records
+under ``benchmarks/records/`` (see ``benchmarks/conftest.py``).  This
+script compares a fresh set of records against a stored baseline and
+**fails (exit 1) when a gated benchmark slowed down by more than the
+threshold** — by default the Fig. 5 short-range kernel benchmarks
+(``--filter fig5``) at 20% (``--threshold 0.2``).
+
+Typical lane (see README "Testing"):
+
+    PYTHONPATH=src python -m pytest tests -q -m "not slow"
+    (cd benchmarks && PYTHONPATH=../src python -m pytest bench_fig5_kernel_threading.py -q)
+    python benchmarks/check_regression.py
+
+First run (or after an intentional perf change)::
+
+    python benchmarks/check_regression.py --update-baseline
+
+Non-gated records are reported informationally; records without a
+baseline counterpart are noted but never fail the gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).parent
+DEFAULT_RECORDS = HERE / "records"
+DEFAULT_BASELINE = HERE / "records" / "baseline"
+
+
+def load_records(directory: Path) -> dict[str, dict]:
+    """Map record name -> parsed record for every BENCH_*.json in a dir."""
+    out: dict[str, dict] = {}
+    if not directory.is_dir():
+        return out
+    for path in sorted(directory.glob("BENCH_*.json")):
+        try:
+            rec = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"warning: unreadable record {path}: {exc}")
+            continue
+        name = rec.get("name", path.stem)
+        out[name] = rec
+    return out
+
+
+def duration_of(rec: dict) -> float | None:
+    payload = rec.get("payload", {})
+    d = payload.get("duration_s")
+    return float(d) if isinstance(d, (int, float)) else None
+
+
+def is_gated(rec: dict, name: str, pattern: str) -> bool:
+    nodeid = rec.get("payload", {}).get("nodeid", "")
+    return pattern in name or pattern in nodeid
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--records",
+        type=Path,
+        default=DEFAULT_RECORDS,
+        help="directory with the fresh BENCH_*.json records",
+    )
+    ap.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="directory with the baseline records to compare against",
+    )
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="fractional slowdown that fails the gate (default 0.20)",
+    )
+    ap.add_argument(
+        "--filter",
+        dest="pattern",
+        default="fig5",
+        help="substring of name/nodeid selecting the gated benchmarks",
+    )
+    ap.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="copy the fresh records over the baseline and exit",
+    )
+    args = ap.parse_args(argv)
+
+    # the default baseline is a subdirectory of records/; the non-recursive
+    # glob in load_records keeps the two sets disjoint
+    fresh = load_records(args.records)
+
+    if args.update_baseline:
+        args.baseline.mkdir(parents=True, exist_ok=True)
+        n = 0
+        for path in sorted(args.records.glob("BENCH_*.json")):
+            shutil.copy2(path, args.baseline / path.name)
+            n += 1
+        print(f"baseline updated: {n} records -> {args.baseline}")
+        return 0
+
+    baseline = load_records(args.baseline)
+    if not fresh:
+        print(f"no records found in {args.records}; run the benchmarks first")
+        return 1
+    if not baseline:
+        print(
+            f"no baseline in {args.baseline}; create one with "
+            "--update-baseline"
+        )
+        return 1
+
+    failures: list[str] = []
+    rows: list[tuple[str, str, str, str, str]] = []
+    for name, rec in sorted(fresh.items()):
+        cur = duration_of(rec)
+        base_rec = baseline.get(name)
+        gated = is_gated(rec, name, args.pattern)
+        tag = "gate" if gated else "info"
+        if cur is None:
+            rows.append((name, tag, "-", "-", "no duration"))
+            continue
+        if base_rec is None:
+            rows.append((name, tag, f"{cur:.3f}", "-", "new (no baseline)"))
+            continue
+        base = duration_of(base_rec)
+        if base is None or base <= 0:
+            rows.append((name, tag, f"{cur:.3f}", "-", "bad baseline"))
+            continue
+        change = cur / base - 1.0
+        verdict = "ok"
+        if gated and change > args.threshold:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{name}: {base:.3f}s -> {cur:.3f}s "
+                f"(+{100 * change:.1f}% > {100 * args.threshold:.0f}%)"
+            )
+        rows.append(
+            (name, tag, f"{cur:.3f}", f"{base:.3f}", f"{change:+.1%} {verdict}")
+        )
+
+    widths = [max(len(r[i]) for r in rows + [("name", "kind", "cur s", "base s", "status")]) for i in range(5)]
+    header = ("name", "kind", "cur s", "base s", "status")
+    print("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    for r in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+
+    if failures:
+        print("\nFAIL: benchmark regression(s) above threshold:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("\nOK: no gated benchmark regressed beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,6 +48,13 @@ class SimulationConfig:
         Short/long handover radius in grid cells (nominal 3).
     leaf_size:
         RCB fat-leaf capacity (treepm backend).
+    chunk_pairs:
+        Pair-block size of the batched short-range engine (bounds peak
+        workspace memory; the batch analogue of sizing the working set
+        to cache).
+    shortrange_naive:
+        Use the per-leaf / per-cell evaluation loops instead of the
+        batched engine — slower, retained for equivalence checking.
     eps_cells:
         Short-range force softening (cells^2).
     lpt_order:
@@ -73,6 +80,8 @@ class SimulationConfig:
     ns: int = 3
     rcut_cells: float = 3.0
     leaf_size: int = 128
+    chunk_pairs: int = 1 << 18
+    shortrange_naive: bool = False
     eps_cells: float = 0.0
     laplacian_order: int = 6
     gradient_order: int = 4
@@ -109,6 +118,10 @@ class SimulationConfig:
             )
         if self.rcut_cells <= 0:
             raise ValueError(f"rcut_cells must be positive: {self.rcut_cells}")
+        if self.chunk_pairs < 1:
+            raise ValueError(
+                f"chunk_pairs must be >= 1: {self.chunk_pairs}"
+            )
         if self.rcut() >= self.box_size / 2:
             raise ValueError(
                 "short-range cutoff exceeds half the box; increase the "

@@ -132,10 +132,17 @@ class HACCSimulation:
             )
             if config.backend == "treepm":
                 self.short_solver = TreePMShortRange(
-                    self.kernel, leaf_size=config.leaf_size
+                    self.kernel,
+                    leaf_size=config.leaf_size,
+                    naive=config.shortrange_naive,
+                    chunk_pairs=config.chunk_pairs,
                 )
             elif config.backend == "p3m":
-                self.short_solver = P3MShortRange(self.kernel)
+                self.short_solver = P3MShortRange(
+                    self.kernel,
+                    naive=config.shortrange_naive,
+                    chunk_pairs=config.chunk_pairs,
+                )
             else:
                 self.short_solver = DirectShortRange(self.kernel)
 

@@ -15,8 +15,24 @@ vendor library.  Mirroring that:
   (``Nrank < N``), kept as the Roadrunner-era baseline for Fig. 6.
 """
 
-from repro.fft.local import SequentialFFT, fft1d, ifft1d
+from repro.fft.local import (
+    SequentialFFT,
+    clear_plan_caches,
+    factor_chain,
+    fft1d,
+    ifft1d,
+    plan_cache_info,
+)
 from repro.fft.pencil import PencilFFT
 from repro.fft.slab import SlabFFT
 
-__all__ = ["fft1d", "ifft1d", "SequentialFFT", "PencilFFT", "SlabFFT"]
+__all__ = [
+    "fft1d",
+    "ifft1d",
+    "SequentialFFT",
+    "PencilFFT",
+    "SlabFFT",
+    "factor_chain",
+    "plan_cache_info",
+    "clear_plan_caches",
+]

@@ -24,7 +24,15 @@ from functools import lru_cache
 
 import numpy as np
 
-__all__ = ["fft1d", "ifft1d", "SequentialFFT", "smallest_prime_factor"]
+__all__ = [
+    "fft1d",
+    "ifft1d",
+    "SequentialFFT",
+    "smallest_prime_factor",
+    "factor_chain",
+    "plan_cache_info",
+    "clear_plan_caches",
+]
 
 #: lengths at or below which a dense DFT matrix beats recursion
 _DIRECT_CUTOFF = 31
@@ -42,6 +50,55 @@ def smallest_prime_factor(n: int) -> int:
             return f
         f += 2
     return n
+
+
+@lru_cache(maxsize=4096)
+def _split_factor(n: int) -> int:
+    """Cached smallest-prime-factor lookup for the CT recursion.
+
+    Repeated transforms of one grid size re-derive the identical factor
+    chain on every call (and, pre-cache, on every *row batch*); caching
+    makes the plan a dictionary lookup after the first transform —
+    the "plan once, execute many" structure of production FFT libraries.
+    """
+    return smallest_prime_factor(n)
+
+
+def factor_chain(n: int) -> tuple[int, ...]:
+    """The radix sequence the CT recursion uses for length ``n``.
+
+    Purely informational (the recursion consults :func:`_split_factor`
+    level by level); exposed so tests and benchmarks can inspect the
+    plan.  The last entry is the terminal sub-length, handled by a
+    direct DFT matrix (``<= _DIRECT_CUTOFF``) or Bluestein (prime).
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    chain: list[int] = []
+    while n > _DIRECT_CUTOFF:
+        p = _split_factor(n)
+        if p == n:  # prime: Bluestein terminal
+            break
+        chain.append(p)
+        n //= p
+    chain.append(n)
+    return tuple(chain)
+
+
+def plan_cache_info() -> dict:
+    """Hit/miss statistics of every FFT plan cache (for tests/benchmarks)."""
+    return {
+        "dft_matrix": _dft_matrix.cache_info(),
+        "twiddles": _twiddles.cache_info(),
+        "bluestein": _bluestein_setup.cache_info(),
+        "split_factor": _split_factor.cache_info(),
+    }
+
+
+def clear_plan_caches() -> None:
+    """Drop all cached plans (used by cache-behavior tests)."""
+    for f in (_dft_matrix, _twiddles, _bluestein_setup, _split_factor):
+        f.cache_clear()
 
 
 @lru_cache(maxsize=128)
@@ -67,7 +124,7 @@ def _fft_rec(x: np.ndarray, sign: float) -> np.ndarray:
         return x.copy()
     if n <= _DIRECT_CUTOFF:
         return x @ _dft_matrix(n, sign).T
-    p = smallest_prime_factor(n)
+    p = _split_factor(n)
     if p == n:  # large prime: Bluestein
         return _bluestein(x, sign)
     m = n // p

@@ -128,6 +128,35 @@ class PencilFFT:
         self._col_comms = self.comm.split(
             [rank % self.pc for rank in range(self.size)]
         )
+        # per-(transpose, rank) receive-assembly buffers, reused across
+        # calls: a step makes 8 transposes (1 forward + 3 inverse, 2
+        # transposes each), all with identical shapes
+        self._transpose_bufs: dict[tuple[str, int], np.ndarray] = {}
+
+    def _concat_into(
+        self, key: str, rank: int, parts: list[np.ndarray], axis: int
+    ) -> np.ndarray:
+        """``np.concatenate`` into a reused per-(transpose, rank) buffer.
+
+        Transpose outputs are consumed immediately by the next 1-D FFT
+        pass (which allocates fresh arrays), so the buffers never escape
+        ``forward``/``inverse`` and reuse across calls is safe.
+        """
+        shape = list(parts[0].shape)
+        shape[axis] = sum(p.shape[axis] for p in parts)
+        dtype = np.result_type(*[p.dtype for p in parts])
+        bkey = (key, rank)
+        buf = self._transpose_bufs.get(bkey)
+        if buf is None or buf.shape != tuple(shape) or buf.dtype != dtype:
+            buf = np.empty(tuple(shape), dtype=dtype)
+            self._transpose_bufs[bkey] = buf
+        np.concatenate(parts, axis=axis, out=buf)
+        return buf
+
+    @property
+    def transpose_buffer_bytes(self) -> int:
+        """Bytes currently held by the reused transpose buffers."""
+        return sum(b.nbytes for b in self._transpose_bufs.values())
 
     # ------------------------------------------------------------------
     def rank_of(self, i: int, j: int) -> int:
@@ -213,7 +242,9 @@ class PencilFFT:
             for j in range(pc):
                 # rank (i, j) assembles full y from the pc chunks; chunk
                 # from source j' carries y-block C_{j'}.
-                out[row_ranks[j]] = np.concatenate(recv[j], axis=1)
+                out[row_ranks[j]] = self._concat_into(
+                    "zy", row_ranks[j], recv[j], axis=1
+                )
         return out  # type: ignore[return-value]
 
     @timed("fft.transpose.yz")
@@ -235,7 +266,9 @@ class PencilFFT:
             ]
             recv = self._row_comms[i].alltoallv(send, tag="fft.transpose.zy")
             for j in range(pc):
-                out[row_ranks[j]] = np.concatenate(recv[j], axis=2)
+                out[row_ranks[j]] = self._concat_into(
+                    "yz", row_ranks[j], recv[j], axis=2
+                )
         return out  # type: ignore[return-value]
 
     @timed("fft.transpose.yx")
@@ -257,7 +290,9 @@ class PencilFFT:
             ]
             recv = self._col_comms[j].alltoallv(send, tag="fft.transpose.yx")
             for i in range(pr):
-                out[col_ranks[i]] = np.concatenate(recv[i], axis=0)
+                out[col_ranks[i]] = self._concat_into(
+                    "yx", col_ranks[i], recv[i], axis=0
+                )
         return out  # type: ignore[return-value]
 
     @timed("fft.transpose.xy")
@@ -279,7 +314,9 @@ class PencilFFT:
             ]
             recv = self._col_comms[j].alltoallv(send, tag="fft.transpose.yx")
             for i in range(pr):
-                out[col_ranks[i]] = np.concatenate(recv[i], axis=1)
+                out[col_ranks[i]] = self._concat_into(
+                    "xy", col_ranks[i], recv[i], axis=1
+                )
         return out  # type: ignore[return-value]
 
     # ------------------------------------------------------------------

@@ -7,7 +7,12 @@ spectral differencing, composed into a single forward FFT plus one inverse
 FFT per force component.
 """
 
-from repro.grid.cic import cic_deposit, cic_interpolate, density_contrast
+from repro.grid.cic import (
+    ParticleGridCoords,
+    cic_deposit,
+    cic_interpolate,
+    density_contrast,
+)
 from repro.grid.filters import (
     influence_function,
     spectral_filter,
@@ -17,6 +22,7 @@ from repro.grid.poisson import SpectralPoissonSolver
 from repro.grid.threaded_cic import ThreadedCIC
 
 __all__ = [
+    "ParticleGridCoords",
     "cic_deposit",
     "cic_interpolate",
     "density_contrast",

@@ -14,7 +14,13 @@ import numpy as np
 
 from repro.instrument import get_registry
 
-__all__ = ["cic_deposit", "cic_interpolate", "density_contrast", "cic_window"]
+__all__ = [
+    "cic_deposit",
+    "cic_interpolate",
+    "density_contrast",
+    "cic_window",
+    "ParticleGridCoords",
+]
 
 
 def _corner_data(positions: np.ndarray, n: int, box_size: float):
@@ -35,11 +41,57 @@ def _corner_data(positions: np.ndarray, n: int, box_size: float):
     return base, frac
 
 
+class ParticleGridCoords:
+    """Precomputed CIC corner indices and trilinear weights.
+
+    One PM half-kick runs *four* CIC passes over the same positions
+    (one deposit + three force-component gathers); each pass repeats
+    the wrap/scale/floor index arithmetic.  Computing the 8 flattened
+    corner indices and weight products once and passing the object to
+    :func:`cic_deposit` / :func:`cic_interpolate` via ``coords=`` does
+    that work a single time.  Corners are enumerated in the same
+    ``(dx, dy, dz)`` order as the inline loops, so results match the
+    uncached path.
+    """
+
+    def __init__(self, positions: np.ndarray, n: int, box_size: float) -> None:
+        base, frac = _corner_data(positions, n, box_size)
+        self.n = int(n)
+        self.box_size = float(box_size)
+        self.n_particles = base.shape[0]
+        ip1 = (base + 1) % n
+        flats = []
+        wts = []
+        for dx in (0, 1):
+            ix = base[:, 0] if dx == 0 else ip1[:, 0]
+            wx = (1.0 - frac[:, 0]) if dx == 0 else frac[:, 0]
+            for dy in (0, 1):
+                iy = base[:, 1] if dy == 0 else ip1[:, 1]
+                wy = (1.0 - frac[:, 1]) if dy == 0 else frac[:, 1]
+                for dz in (0, 1):
+                    iz = base[:, 2] if dz == 0 else ip1[:, 2]
+                    wz = (1.0 - frac[:, 2]) if dz == 0 else frac[:, 2]
+                    flats.append((ix * n + iy) * n + iz)
+                    wts.append(wx * wy * wz)
+        #: (8, N) flattened grid indices of the surrounding corners
+        self.flat = np.stack(flats, axis=0)
+        #: (8, N) trilinear weights (each column sums to 1)
+        self.weights = np.stack(wts, axis=0)
+
+    def check(self, n: int, box_size: float) -> None:
+        if n != self.n or box_size != self.box_size:
+            raise ValueError(
+                f"coords built for grid ({self.n}, {self.box_size}), "
+                f"requested ({n}, {box_size})"
+            )
+
+
 def cic_deposit(
     positions: np.ndarray,
     n: int,
     box_size: float,
     weights: np.ndarray | None = None,
+    coords: ParticleGridCoords | None = None,
 ) -> np.ndarray:
     """Deposit particle mass onto an ``n^3`` periodic grid.
 
@@ -53,6 +105,10 @@ def cic_deposit(
         Periodic box side length.
     weights:
         Optional per-particle masses (default 1).
+    coords:
+        Optional precomputed :class:`ParticleGridCoords` for these
+        positions — reuses the corner index/weight computation across
+        the deposit and the force gathers of one PM solve.
 
     Returns
     -------
@@ -61,8 +117,11 @@ def cic_deposit(
     """
     reg = get_registry()
     with reg.span("cic.deposit"):
-        base, frac = _corner_data(positions, n, box_size)
-        npart = base.shape[0]
+        if coords is None:
+            coords = ParticleGridCoords(positions, n, box_size)
+        else:
+            coords.check(n, box_size)
+        npart = coords.n_particles
         w = (
             np.ones(npart, dtype=np.float64)
             if weights is None
@@ -72,32 +131,28 @@ def cic_deposit(
             raise ValueError(f"weights shape {w.shape} != ({npart},)")
 
         grid = np.zeros(n * n * n, dtype=np.float64)
-        ip1 = (base + 1) % n
-        for dx in (0, 1):
-            ix = base[:, 0] if dx == 0 else ip1[:, 0]
-            wx = (1.0 - frac[:, 0]) if dx == 0 else frac[:, 0]
-            for dy in (0, 1):
-                iy = base[:, 1] if dy == 0 else ip1[:, 1]
-                wy = (1.0 - frac[:, 1]) if dy == 0 else frac[:, 1]
-                for dz in (0, 1):
-                    iz = base[:, 2] if dz == 0 else ip1[:, 2]
-                    wz = (1.0 - frac[:, 2]) if dz == 0 else frac[:, 2]
-                    flat = (ix * n + iy) * n + iz
-                    grid += np.bincount(
-                        flat, weights=w * wx * wy * wz, minlength=n * n * n
-                    )
+        for c in range(8):
+            grid += np.bincount(
+                coords.flat[c],
+                weights=w * coords.weights[c],
+                minlength=n * n * n,
+            )
         reg.count("cic.deposit_particles", npart)
     return grid.reshape(n, n, n)
 
 
 def cic_interpolate(
-    grid: np.ndarray, positions: np.ndarray, box_size: float
+    grid: np.ndarray,
+    positions: np.ndarray,
+    box_size: float,
+    coords: ParticleGridCoords | None = None,
 ) -> np.ndarray:
     """Gather grid values at particle positions with CIC weights.
 
     The adjoint of :func:`cic_deposit` — using the identical weights makes
     the PM force momentum conserving (no self-force), which the force
     tests check by measuring the net force on isolated particles.
+    ``coords`` reuses a precomputed :class:`ParticleGridCoords`.
     """
     reg = get_registry()
     with reg.span("cic.interpolate"):
@@ -105,20 +160,15 @@ def cic_interpolate(
         n = grid.shape[0]
         if grid.shape != (n, n, n):
             raise ValueError(f"grid must be cubic, got shape {grid.shape}")
-        base, frac = _corner_data(positions, n, box_size)
-        ip1 = (base + 1) % n
-        out = np.zeros(base.shape[0], dtype=np.float64)
-        for dx in (0, 1):
-            ix = base[:, 0] if dx == 0 else ip1[:, 0]
-            wx = (1.0 - frac[:, 0]) if dx == 0 else frac[:, 0]
-            for dy in (0, 1):
-                iy = base[:, 1] if dy == 0 else ip1[:, 1]
-                wy = (1.0 - frac[:, 1]) if dy == 0 else frac[:, 1]
-                for dz in (0, 1):
-                    iz = base[:, 2] if dz == 0 else ip1[:, 2]
-                    wz = (1.0 - frac[:, 2]) if dz == 0 else frac[:, 2]
-                    out += grid[ix, iy, iz] * (wx * wy * wz)
-        reg.count("cic.interp_particles", base.shape[0])
+        if coords is None:
+            coords = ParticleGridCoords(positions, n, box_size)
+        else:
+            coords.check(n, box_size)
+        flat_grid = grid.reshape(-1)
+        out = np.zeros(coords.n_particles, dtype=np.float64)
+        for c in range(8):
+            out += flat_grid[coords.flat[c]] * coords.weights[c]
+        reg.count("cic.interp_particles", coords.n_particles)
     return out
 
 

@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.cosmology.gaussian_field import fourier_grid
 from repro.fft.pencil import PencilFFT
-from repro.grid.cic import cic_deposit, cic_interpolate
+from repro.grid.cic import ParticleGridCoords, cic_deposit, cic_interpolate
 from repro.instrument import get_registry
 from repro.grid.filters import (
     NOMINAL_NS,
@@ -165,8 +165,15 @@ class SpectralPoissonSolver:
         Deposit -> solve -> interpolate.  Returns an (N, 3) array of
         ``-grad phi`` with ``del^2 phi = delta``; multiply by the
         cosmological prefactor to get physical accelerations.
+
+        The CIC corner indices/weights are computed once and shared by
+        the deposit and the three force gathers (four passes, one index
+        computation).
         """
-        counts = cic_deposit(positions, self.n, self.box_size, weights)
+        coords = ParticleGridCoords(positions, self.n, self.box_size)
+        counts = cic_deposit(
+            positions, self.n, self.box_size, weights, coords=coords
+        )
         mean = counts.mean()
         if mean <= 0:
             raise ValueError("empty particle distribution")
@@ -174,7 +181,7 @@ class SpectralPoissonSolver:
         forces = self.force_grids(delta)
         acc = np.stack(
             [
-                cic_interpolate(f, positions, self.box_size)
+                cic_interpolate(f, positions, self.box_size, coords=coords)
                 for f in forces
             ],
             axis=1,

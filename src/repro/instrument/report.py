@@ -18,7 +18,7 @@ span name(s)              profile row             model bucket
 ``cic.interpolate``       CIC interpolate         other
 ``tree.build``            tree build              walk
 ``tree.walk``             tree walk               walk
-``pp.kernel``             PP kernel               kernel
+``pp.kernel, pp.batch``   PP kernel               kernel
 ``sks.stream, sks.kick``  stream/kick             other
 ========================  ======================  ===============
 
@@ -74,7 +74,7 @@ SECTION_ROWS = (
                ("tree.build_particles",)),
     ProfileRow("tree walk", ("tree.walk",), "walk",
                ("tree.list_length",)),
-    ProfileRow("PP kernel", ("pp.kernel",), "kernel",
+    ProfileRow("PP kernel", ("pp.kernel", "pp.batch"), "kernel",
                ("pp.interactions", "pp.flops")),
     ProfileRow("stream/kick", ("sks.stream", "sks.kick"), "other",
                ("sks.substeps",)),

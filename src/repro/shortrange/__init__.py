@@ -21,6 +21,14 @@ small systems, and the two full-code backends agree on the nonlinear
 power spectrum at the sub-percent level (the paper quotes 0.1%).
 """
 
+from repro.shortrange.batch import (
+    DEFAULT_CHUNK_PAIRS,
+    BatchedPairEngine,
+    InteractionBatch,
+    Workspace,
+    batch_box_query,
+    pack_tree,
+)
 from repro.shortrange.grid_force import (
     GridForceFit,
     fit_grid_force,
@@ -28,7 +36,7 @@ from repro.shortrange.grid_force import (
     pair_force_normalization,
 )
 from repro.shortrange.kernel import ShortRangeKernel
-from repro.shortrange.rcb_tree import RCBTree
+from repro.shortrange.rcb_tree import RCBTree, ranges_to_indices
 from repro.shortrange.solvers import (
     DirectShortRange,
     P3MShortRange,
@@ -50,4 +58,11 @@ __all__ = [
     "periodic_ghosts",
     "MultiTreeShortRange",
     "rcb_blocks",
+    "BatchedPairEngine",
+    "InteractionBatch",
+    "Workspace",
+    "batch_box_query",
+    "pack_tree",
+    "ranges_to_indices",
+    "DEFAULT_CHUNK_PAIRS",
 ]

@@ -84,12 +84,41 @@ class ShortRangeKernel:
         """
         s = np.asarray(s_cells, dtype=self.dtype)
         inside = (s > 0.0) & (s < self.fit.rcut_cells**2)
-        s_safe = np.where(inside, s, 1.0)
-        newton = (s_safe + self.dtype(self.eps_cells)) ** -1.5
+        s_safe = np.where(inside, s, self.dtype(1.0))
+        x = s_safe + self.dtype(self.eps_cells)
+        # (s + eps)^{-3/2} as 1 / (x * sqrt(x)): sqrt + divide is several
+        # times cheaper than np.power and stays in the input precision
+        newton = self.dtype(1.0) / (x * np.sqrt(x))
         poly = np.zeros_like(s_safe)
         for c in reversed(self.fit.coefficients):
             poly = poly * s_safe + self.dtype(c)
-        return np.where(inside, newton - poly, 0.0)
+        return np.where(inside, newton - poly, self.dtype(0.0))
+
+    def pair_coeff_into(
+        self,
+        s_cells: np.ndarray,
+        out: np.ndarray,
+        scratch: np.ndarray,
+    ) -> np.ndarray:
+        """Allocation-free ``f_SR`` for pre-compressed in-cutoff pairs.
+
+        ``s_cells`` must already satisfy ``0 < s < rcut_cells^2`` for
+        every entry (the batch engine compresses with exactly that mask
+        before calling); ``out`` and ``scratch`` are same-shape kernel-dtype
+        workspaces.  ``s_cells`` is left untouched.  Returns ``out``.
+        """
+        dt = self.dtype
+        np.add(s_cells, dt(self.eps_cells), out=scratch)  # x = s + eps
+        np.sqrt(scratch, out=out)
+        out *= scratch  # x^{3/2}
+        np.divide(dt(1.0), out, out=out)  # Newtonian branch
+        coeffs = self.fit.coefficients
+        scratch.fill(dt(coeffs[-1]))
+        for c in reversed(coeffs[:-1]):
+            scratch *= s_cells
+            scratch += dt(c)
+        out -= scratch
+        return out
 
     def f_sr(self, s_phys) -> np.ndarray:
         """Short-range coefficient at squared physical separations."""
@@ -134,7 +163,10 @@ class ShortRangeKernel:
         if src.shape[0] != m.shape[0]:
             raise ValueError("sources and source_masses disagree in length")
         nt, nsrc = t.shape[0], src.shape[0]
-        out = np.zeros((nt, 3), dtype=np.float64)
+        # accumulate in the kernel dtype: with dtype=np.float32 every
+        # intermediate AND the output stay single precision (the paper's
+        # mixed-precision contract; a dtype-propagation test pins this)
+        out = np.zeros((nt, 3), dtype=self.dtype)
         if nsrc == 0 or nt == 0:
             return out
         reg = get_registry()
@@ -147,9 +179,17 @@ class ShortRangeKernel:
                 s_c = np.einsum("ijk,ijk->ij", d, d) * inv_sp2
                 f = self.f_sr_cells(s_c) * (inv_sp3 * m[None, :])
                 out[lo:hi] = -np.einsum("ij,ijk->ik", f, d)
-        self._interactions.add(nt * nsrc)
-        reg.count("pp.flops", FLOPS_PER_INTERACTION * nt * nsrc)
+        self.record_interactions(nt * nsrc)
         return out
+
+    def record_interactions(self, n: int) -> None:
+        """Charge ``n`` pair evaluations to the interaction/flop counters.
+
+        Shared by the per-leaf path and the batched engine so both report
+        the identical ``pp.interactions`` number for the same lists.
+        """
+        self._interactions.add(n)
+        get_registry().count("pp.flops", FLOPS_PER_INTERACTION * n)
 
     # ------------------------------------------------------------------
     @property

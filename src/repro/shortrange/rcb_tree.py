@@ -28,7 +28,25 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["RCBTree", "RCBNode"]
+__all__ = ["RCBTree", "RCBNode", "ranges_to_indices"]
+
+
+def ranges_to_indices(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Expand ``[start, start + length)`` ranges into one flat index array.
+
+    The vectorized replacement for ``concatenate([arange(a, b) ...])``:
+    a single ``repeat`` + cumulative-offset correction, no Python loop.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    ends = np.cumsum(lengths)
+    # element p of range k is starts[k] + (p - ends[k-1]); repeating the
+    # per-range offset and adding a global arange yields every element
+    offsets = np.repeat(starts - (ends - lengths), lengths)
+    return offsets + np.arange(total, dtype=np.int64)
 
 
 @dataclass(frozen=True)
@@ -118,6 +136,20 @@ class RCBTree:
             self._build(0, n)
         self.positions = np.stack([self._x, self._y, self._z], axis=1)
         self.masses = self._m
+        # flat node arrays: the structure the vectorized (batched) walks
+        # consume — one bounds test over a whole frontier instead of one
+        # ``np.any`` call per visited node
+        nn = len(self._start)
+        self.node_start = np.asarray(self._start, dtype=np.int64)
+        self.node_count = np.asarray(self._count, dtype=np.int64)
+        self.node_left = np.asarray(self._left, dtype=np.int64)
+        self.node_right = np.asarray(self._right, dtype=np.int64)
+        if nn:
+            self.node_lo = np.stack(self._lo, axis=0)
+            self.node_hi = np.stack(self._hi, axis=0)
+        else:
+            self.node_lo = np.empty((0, 3))
+            self.node_hi = np.empty((0, 3))
 
     # ------------------------------------------------------------------
     # construction
@@ -210,6 +242,16 @@ class RCBTree:
         """Indices of all leaf nodes."""
         return [i for i in range(self.n_nodes) if self._left[i] < 0]
 
+    def leaf_ids(self) -> np.ndarray:
+        """Leaf node indices ordered by their particle-segment start.
+
+        Leaf segments partition ``[0, n_particles)``, so this ordering
+        makes segment-wise reductions (``np.logical_or.reduceat`` over
+        per-particle flags) well defined.
+        """
+        ids = np.flatnonzero(self.node_left < 0)
+        return ids[np.argsort(self.node_start[ids], kind="stable")]
+
     def depth(self) -> int:
         """Maximum node depth (root = 0)."""
         if not self.n_nodes:
@@ -237,29 +279,39 @@ class RCBTree:
             raise ValueError(f"rcut must be positive: {rcut}")
         if self._left[leaf] >= 0:
             raise ValueError(f"node {leaf} is not a leaf")
-        qlo = self._lo[leaf] - rcut
-        qhi = self._hi[leaf] + rcut
-        slices: list[tuple[int, int]] = []
-        stack = [0]
-        while stack:
-            i = stack.pop()
-            if np.any(self._lo[i] > qhi) or np.any(self._hi[i] < qlo):
-                continue
-            if self._left[i] < 0:
-                slices.append((self._start[i], self._start[i] + self._count[i]))
-            else:
-                stack.append(self._left[i])
-                stack.append(self._right[i])
-        if not slices:
-            return np.empty(0, dtype=np.int64)
-        slices.sort()
-        # merge adjacent slices so the gather is as contiguous as possible
-        merged = [slices[0]]
-        for a, b in slices[1:]:
-            if a <= merged[-1][1]:
-                merged[-1] = (merged[-1][0], max(b, merged[-1][1]))
-            else:
-                merged.append((a, b))
-        return np.concatenate(
-            [np.arange(a, b, dtype=np.int64) for a, b in merged]
+        hits = self.box_query_nodes(
+            self.node_lo[leaf] - rcut, self.node_hi[leaf] + rcut
         )
+        # hit leaves are disjoint segments; sorting by start and expanding
+        # yields the ascending index list the old sort-and-merge produced
+        hits = hits[np.argsort(self.node_start[hits], kind="stable")]
+        return ranges_to_indices(self.node_start[hits], self.node_count[hits])
+
+    def box_query_nodes(self, qlo: np.ndarray, qhi: np.ndarray) -> np.ndarray:
+        """Leaf-node indices whose bounding boxes intersect ``[qlo, qhi]``.
+
+        A breadth-first frontier walk: each iteration tests the whole
+        frontier against the query box in a handful of vectorized ops,
+        instead of one ``np.any`` pair per visited node.
+        """
+        if not self.n_nodes:
+            return np.empty(0, dtype=np.int64)
+        frontier = np.zeros(1, dtype=np.int64)
+        found: list[np.ndarray] = []
+        while frontier.size:
+            alive = ~(
+                (self.node_lo[frontier] > qhi).any(axis=1)
+                | (self.node_hi[frontier] < qlo).any(axis=1)
+            )
+            frontier = frontier[alive]
+            left = self.node_left[frontier]
+            is_leaf = left < 0
+            if is_leaf.any():
+                found.append(frontier[is_leaf])
+            internal = frontier[~is_leaf]
+            frontier = np.concatenate(
+                [self.node_left[internal], self.node_right[internal]]
+            )
+        if not found:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(found)

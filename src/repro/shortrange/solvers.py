@@ -23,8 +23,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.instrument import get_registry
+from repro.shortrange.batch import (
+    DEFAULT_CHUNK_PAIRS,
+    BatchedPairEngine,
+    InteractionBatch,
+    pack_tree,
+)
 from repro.shortrange.kernel import ShortRangeKernel
-from repro.shortrange.rcb_tree import RCBTree
+from repro.shortrange.rcb_tree import RCBTree, ranges_to_indices
 
 __all__ = [
     "periodic_ghosts",
@@ -54,32 +60,36 @@ def periodic_ghosts(
         )
     pos = np.mod(np.asarray(positions, dtype=np.float64), box_size)
     m = np.asarray(masses, dtype=np.float64)
-    ghost_pos = [pos]
-    ghost_m = [m]
-    for ox in (-1, 0, 1):
-        for oy in (-1, 0, 1):
-            for oz in (-1, 0, 1):
-                if ox == oy == oz == 0:
-                    continue
-                sel = np.ones(pos.shape[0], dtype=bool)
-                if ox < 0:
-                    sel &= pos[:, 0] >= box_size - rcut
-                elif ox > 0:
-                    sel &= pos[:, 0] < rcut
-                if oy < 0:
-                    sel &= pos[:, 1] >= box_size - rcut
-                elif oy > 0:
-                    sel &= pos[:, 1] < rcut
-                if oz < 0:
-                    sel &= pos[:, 2] >= box_size - rcut
-                elif oz > 0:
-                    sel &= pos[:, 2] < rcut
-                if not np.any(sel):
-                    continue
-                shift = np.array([ox, oy, oz], dtype=np.float64) * box_size
-                ghost_pos.append(pos[sel] + shift)
-                ghost_m.append(m[sel])
-    return np.concatenate(ghost_pos, axis=0), np.concatenate(ghost_m)
+    n = pos.shape[0]
+    # one stacked 26-offset computation instead of a triple Python loop;
+    # selecting per (particle, shift) pair also guarantees corner images
+    # are emitted exactly once (sequential per-axis shifting would
+    # duplicate them)
+    offsets = np.array(
+        [
+            (ox, oy, oz)
+            for ox in (-1, 0, 1)
+            for oy in (-1, 0, 1)
+            for oz in (-1, 0, 1)
+            if (ox, oy, oz) != (0, 0, 0)
+        ],
+        dtype=np.float64,
+    )
+    # per-axis condition table indexed by offset + 1:
+    # shift -1 needs pos near the high face, +1 near the low face
+    always = np.ones(n, dtype=bool)
+    sel = always
+    for axis in range(3):
+        table = np.stack(
+            [pos[:, axis] >= box_size - rcut, always, pos[:, axis] < rcut]
+        )
+        sel = sel & table[offsets[:, axis].astype(np.int64) + 1]
+    oid, pid = np.nonzero(sel)  # offset-major: matches the old loop order
+    ghost_pos = pos[pid] + offsets[oid] * box_size
+    return (
+        np.concatenate([pos, ghost_pos], axis=0),
+        np.concatenate([m, m[pid]]),
+    )
 
 
 class ShortRangeSolver(ABC):
@@ -147,13 +157,30 @@ class TreePMShortRange(ShortRangeSolver):
         The fitted short-range kernel.
     leaf_size:
         Fat-leaf capacity (the walk/kernel crossover knob of Section III).
+    naive:
+        ``False`` (default) packs every leaf's list into one
+        :class:`~repro.shortrange.batch.InteractionBatch` and streams it
+        through the chunked :class:`~repro.shortrange.batch.BatchedPairEngine`
+        — the paper's list-then-stream structure.  ``True`` keeps the
+        original walk-evaluate-per-leaf loop; it computes the identical
+        force and exists for the equivalence suite and A/B benchmarks.
+    chunk_pairs:
+        Pair-block size of the batched engine (peak-workspace knob).
     """
 
-    def __init__(self, kernel: ShortRangeKernel, leaf_size: int = 128) -> None:
+    def __init__(
+        self,
+        kernel: ShortRangeKernel,
+        leaf_size: int = 128,
+        naive: bool = False,
+        chunk_pairs: int = DEFAULT_CHUNK_PAIRS,
+    ) -> None:
         super().__init__(kernel)
         if leaf_size < 1:
             raise ValueError(f"leaf_size must be >= 1: {leaf_size}")
         self.leaf_size = int(leaf_size)
+        self.naive = bool(naive)
+        self.engine = BatchedPairEngine(kernel, chunk_pairs=chunk_pairs)
         #: populated after each evaluation: interaction-list sizes per leaf
         self.last_list_sizes: np.ndarray | None = None
 
@@ -162,7 +189,22 @@ class TreePMShortRange(ShortRangeSolver):
         with reg.span("tree.build"):
             tree = RCBTree(positions, masses, leaf_size=self.leaf_size)
         reg.count("tree.build_particles", positions.shape[0])
+        if self.naive:
+            return self._accelerations_naive(tree, n_targets)
+        with reg.span("tree.walk"):
+            batch = pack_tree(tree, self.kernel.rcut, n_targets)
+        sizes = batch.group_neighbor_counts()
+        reg.count("tree.list_length", int(sizes.sum()))
+        self.last_list_sizes = sizes.astype(np.int64)
+        acc_tree = self.engine.evaluate(batch, tree.positions, tree.masses)
         acc = np.zeros((positions.shape[0], 3), dtype=np.float64)
+        acc[tree.perm] = acc_tree
+        return acc[:n_targets]
+
+    def _accelerations_naive(self, tree: RCBTree, n_targets: int):
+        """The original per-leaf walk + evaluate loop (``naive=True``)."""
+        reg = get_registry()
+        acc = np.zeros((tree.n_particles, 3), dtype=np.float64)
         rcut = self.kernel.rcut
         sizes = []
         for leaf in tree.leaves():
@@ -193,32 +235,117 @@ class P3MShortRange(ShortRangeSolver):
     interact directly with the particles of the 27 surrounding cells —
     the "no mediating tree" limit where leaf populations reach ~1e5 on
     accelerated hardware.
+
+    ``naive=False`` (default) builds the whole chaining-mesh neighborhood
+    as one :class:`~repro.shortrange.batch.InteractionBatch` (a single
+    vectorized 27-offset computation over all occupied cells) and streams
+    it through the batched engine; ``naive=True`` keeps the original
+    per-cell Python loop for the equivalence suite.
     """
 
+    def __init__(
+        self,
+        kernel: ShortRangeKernel,
+        naive: bool = False,
+        chunk_pairs: int = DEFAULT_CHUNK_PAIRS,
+    ) -> None:
+        super().__init__(kernel)
+        self.naive = bool(naive)
+        self.engine = BatchedPairEngine(kernel, chunk_pairs=chunk_pairs)
+
+    def _bin(self, pos: np.ndarray):
+        """Chaining-mesh binning: cell geometry + cell-sorted particles."""
+        rcut = self.kernel.rcut
+        lo = pos.min(axis=0) - 1e-9
+        hi = pos.max(axis=0) + 1e-9
+        extent = np.maximum(hi - lo, rcut)
+        ncell = np.maximum((extent / rcut).astype(np.int64), 1)
+        cell_of = np.minimum(
+            ((pos - lo) / extent * ncell).astype(np.int64), ncell - 1
+        )
+        flat = (
+            cell_of[:, 0] * ncell[1] + cell_of[:, 1]
+        ) * ncell[2] + cell_of[:, 2]
+        order = np.argsort(flat, kind="stable")
+        uniq, starts = np.unique(flat[order], return_index=True)
+        starts = np.append(starts, pos.shape[0]).astype(np.int64)
+        return ncell, uniq, starts, order
+
+    def _pack_cells(self, ncell, uniq, starts, order) -> InteractionBatch:
+        """All 27-neighborhoods of all occupied cells as one CSR batch.
+
+        Offsets enumerate in the same row-major (ox, oy, oz) order —
+        self cell included — as the naive triple loop, so the per-cell
+        neighbor concatenation is identical.
+        """
+        n_occ = uniq.size
+        czi = uniq % ncell[2]
+        cyi = (uniq // ncell[2]) % ncell[1]
+        cxi = uniq // (ncell[1] * ncell[2])
+        off = np.array(
+            [
+                (ox, oy, oz)
+                for ox in (-1, 0, 1)
+                for oy in (-1, 0, 1)
+                for oz in (-1, 0, 1)
+            ],
+            dtype=np.int64,
+        )
+        nx = cxi[:, None] + off[None, :, 0]
+        ny = cyi[:, None] + off[None, :, 1]
+        nz = czi[:, None] + off[None, :, 2]
+        # open boundaries: the cloud already includes the ghost images
+        valid = (
+            (nx >= 0) & (nx < ncell[0])
+            & (ny >= 0) & (ny < ncell[1])
+            & (nz >= 0) & (nz < ncell[2])
+        )
+        nb_flat = (nx * ncell[1] + ny) * ncell[2] + nz
+        j = np.searchsorted(uniq, nb_flat)
+        j_cl = np.minimum(j, n_occ - 1)
+        found = valid & (uniq[j_cl] == nb_flat)
+        seg_len = starts[j_cl + 1] - starts[j_cl]
+        per_cell = np.where(found, seg_len, 0).sum(axis=1)
+        sel = found.ravel()
+        neighbor_indices = order[
+            ranges_to_indices(
+                starts[j_cl].ravel()[sel], seg_len.ravel()[sel]
+            )
+        ]
+        neighbor_offsets = np.zeros(n_occ + 1, dtype=np.int64)
+        np.cumsum(per_cell, out=neighbor_offsets[1:])
+        # cell membership segments of ``order`` are exactly the target
+        # groups; ``starts`` is already their offsets array
+        return InteractionBatch(
+            order, starts, neighbor_indices, neighbor_offsets
+        )
+
     def accelerations_cloud(self, positions, masses, n_targets):
-        pos = positions
+        pos = np.asarray(positions, dtype=np.float64)
+        n_cloud = pos.shape[0]
+        if n_cloud == 0:
+            return np.zeros((0, 3), dtype=np.float64)
+        with get_registry().span("p3m.binning"):
+            ncell, uniq, starts, order = self._bin(pos)
+        if self.naive:
+            return self._accelerations_naive(
+                pos, masses, n_targets, ncell, uniq, starts, order
+            )
+        with get_registry().span("p3m.pack"):
+            batch = self._pack_cells(ncell, uniq, starts, order)
+        acc = self.engine.evaluate(batch, pos, masses)
+        return acc[:n_targets]
+
+    def _accelerations_naive(
+        self, pos, masses, n_targets, ncell, uniq, starts, order
+    ):
+        """The original per-cell walk + evaluate loop (``naive=True``)."""
         n_cloud = pos.shape[0]
         acc = np.zeros((n_cloud, 3), dtype=np.float64)
-        rcut = self.kernel.rcut
-        with get_registry().span("p3m.binning"):
-            lo = pos.min(axis=0) - 1e-9
-            hi = pos.max(axis=0) + 1e-9
-            extent = np.maximum(hi - lo, rcut)
-            ncell = np.maximum((extent / rcut).astype(np.int64), 1)
-            cell_of = np.minimum(
-                ((pos - lo) / extent * ncell).astype(np.int64), ncell - 1
-            )
-            flat = (
-                cell_of[:, 0] * ncell[1] + cell_of[:, 1]
-            ) * ncell[2] + cell_of[:, 2]
-            order = np.argsort(flat, kind="stable")
-            sorted_flat = flat[order]
-            uniq, starts = np.unique(sorted_flat, return_index=True)
-            starts = np.append(starts, n_cloud)
-            members = {
-                int(u): order[starts[i] : starts[i + 1]]
-                for i, u in enumerate(uniq)
-            }
+        members = {
+            int(u): order[starts[i] : starts[i + 1]]
+            for i, u in enumerate(uniq)
+        }
 
         def cell_id(cx, cy, cz):
             if not (

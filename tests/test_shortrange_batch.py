@@ -1,0 +1,468 @@
+"""Tests for the batched pair engine, packing, and hot-path caches.
+
+The equivalence suite is the contract of the PR that introduced the
+batched engine: the CSR-packed, chunked evaluation must match both the
+O(N^2) direct reference and the original per-leaf / per-cell loops
+(``naive=True``) on clustered, uniform and near-boundary particle sets —
+with the identical ``pp.interactions`` count, since the batch encodes
+exactly the same lists.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fft.local import (
+    clear_plan_caches,
+    factor_chain,
+    fft1d,
+    plan_cache_info,
+)
+from repro.fft.pencil import PencilFFT
+from repro.grid.cic import ParticleGridCoords, cic_deposit, cic_interpolate
+from repro.shortrange.batch import (
+    BatchedPairEngine,
+    InteractionBatch,
+    Workspace,
+    pack_tree,
+)
+from repro.shortrange.kernel import ShortRangeKernel
+from repro.shortrange.multitree import MultiTreeShortRange
+from repro.shortrange.rcb_tree import RCBTree, ranges_to_indices
+from repro.shortrange.solvers import (
+    DirectShortRange,
+    P3MShortRange,
+    TreePMShortRange,
+    periodic_ghosts,
+)
+
+BOX = 10.0
+
+
+@pytest.fixture()
+def kernel(grid_force_fit):
+    return ShortRangeKernel(grid_force_fit, spacing=1.0, eps_cells=0.01)
+
+
+@pytest.fixture()
+def kernel32(grid_force_fit):
+    return ShortRangeKernel(
+        grid_force_fit, spacing=1.0, eps_cells=0.01, dtype=np.float32
+    )
+
+
+def uniform_cloud(rng, n):
+    return rng.uniform(0.0, BOX, (n, 3))
+
+
+def clustered_cloud(rng, n):
+    centers = rng.uniform(0.0, BOX, (max(n // 50, 2), 3))
+    which = rng.integers(0, centers.shape[0], n)
+    return np.mod(centers[which] + rng.normal(0.0, 0.2, (n, 3)), BOX)
+
+
+def boundary_cloud(rng, n):
+    """Particles concentrated near the periodic faces and corners."""
+    return np.mod(rng.normal(0.0, 0.7, (n, 3)), BOX)
+
+
+CLOUDS = {
+    "uniform": uniform_cloud,
+    "clustered": clustered_cloud,
+    "boundary": boundary_cloud,
+}
+
+
+def assert_forces_close(a, b, rtol):
+    scale = np.abs(b).max()
+    assert scale > 0
+    np.testing.assert_allclose(a, b, atol=rtol * scale, rtol=rtol)
+
+
+# ----------------------------------------------------------------------
+# packing building blocks
+# ----------------------------------------------------------------------
+class TestRangesToIndices:
+    def test_basic(self):
+        out = ranges_to_indices([2, 10], [3, 2])
+        assert out.tolist() == [2, 3, 4, 10, 11]
+
+    def test_interleaved_zero_lengths(self):
+        out = ranges_to_indices([5, 7, 1, 9], [0, 2, 0, 1])
+        assert out.tolist() == [7, 8, 9]
+
+    def test_empty(self):
+        assert ranges_to_indices([], []).size == 0
+
+
+class TestInteractionBatch:
+    def test_validation(self):
+        z = np.zeros(1, dtype=np.int64)
+        e = np.empty(0, dtype=np.int64)
+        with pytest.raises(ValueError):
+            InteractionBatch(e, np.array([0, 1]), e, z)  # length mismatch
+        with pytest.raises(ValueError):
+            InteractionBatch(e, np.array([1, 0]), e, np.array([0, 0]))
+
+    def test_empty_counts(self):
+        b = InteractionBatch.empty()
+        assert b.n_groups == 0
+        assert b.n_pairs == 0
+
+    def test_pair_counts(self):
+        b = InteractionBatch(
+            targets=np.array([0, 1, 2]),
+            target_offsets=np.array([0, 2, 3]),
+            neighbor_indices=np.array([0, 1, 2, 3, 4]),
+            neighbor_offsets=np.array([0, 3, 5]),
+        )
+        assert b.group_pair_counts().tolist() == [6, 2]
+        assert b.n_pairs == 8
+
+
+class TestPackTree:
+    def test_matches_per_leaf_interaction_lists(self, rng):
+        pos = clustered_cloud(rng, 400)
+        tree = RCBTree(pos, leaf_size=16)
+        batch = pack_tree(tree, rcut=3.0)
+        leaf_ids = tree.leaf_ids()
+        assert batch.n_groups == leaf_ids.size
+        for g, leaf in enumerate(leaf_ids):
+            expect = tree.interaction_list(int(leaf), 3.0)
+            got = batch.neighbor_indices[
+                batch.neighbor_offsets[g] : batch.neighbor_offsets[g + 1]
+            ]
+            np.testing.assert_array_equal(got, expect)
+
+    def test_targets_partition_particles(self, rng):
+        pos = uniform_cloud(rng, 300)
+        tree = RCBTree(pos, leaf_size=32)
+        batch = pack_tree(tree, rcut=3.0)
+        assert np.sort(batch.targets).tolist() == list(range(300))
+
+    def test_ghost_only_leaves_skipped(self, rng):
+        # real cluster + far-away ghost cluster: ghost-only leaves must
+        # not become target groups, but ghosts still act as sources
+        real = rng.uniform(0.0, 1.0, (64, 3))
+        ghosts = rng.uniform(1.5, 2.5, (64, 3))
+        pos = np.concatenate([real, ghosts])
+        tree = RCBTree(pos, leaf_size=8)
+        batch = pack_tree(tree, rcut=3.0, n_targets=64)
+        orig = tree.perm[batch.targets]
+        assert np.all(orig < 64)
+
+
+class TestWorkspace:
+    def test_grow_only_reuse(self):
+        ws = Workspace()
+        a = ws.get("x", 100, np.float64)
+        b = ws.get("x", 50, np.float64)
+        assert b.base is a.base or b.base is a  # same backing buffer
+        c = ws.get("x", 200, np.float64)
+        assert c.size == 200
+        assert ws.nbytes >= 200 * 8
+
+    def test_dtype_change_reallocates(self):
+        ws = Workspace()
+        ws.get("x", 10, np.float64)
+        assert ws.get("x", 10, np.float32).dtype == np.float32
+
+
+# ----------------------------------------------------------------------
+# the equivalence suite
+# ----------------------------------------------------------------------
+class TestEquivalence:
+    """Batched engine vs direct O(N^2) vs the old per-leaf/per-cell path."""
+
+    @pytest.mark.parametrize("cloud", sorted(CLOUDS))
+    def test_treepm_batched_vs_direct_and_naive_f64(
+        self, kernel, rng, cloud
+    ):
+        pos = CLOUDS[cloud](rng, 500)
+        m = rng.uniform(0.5, 1.5, 500)
+        ref = DirectShortRange(kernel).accelerations(pos, m, box_size=BOX)
+        batched = TreePMShortRange(kernel, leaf_size=16).accelerations(
+            pos, m, box_size=BOX
+        )
+        naive = TreePMShortRange(
+            kernel, leaf_size=16, naive=True
+        ).accelerations(pos, m, box_size=BOX)
+        assert_forces_close(batched, ref, 1e-6)
+        assert_forces_close(batched, naive, 1e-6)
+
+    @pytest.mark.parametrize("cloud", sorted(CLOUDS))
+    def test_treepm_batched_vs_naive_f32(self, kernel32, rng, cloud):
+        pos = CLOUDS[cloud](rng, 400)
+        m = rng.uniform(0.5, 1.5, 400)
+        batched = TreePMShortRange(kernel32, leaf_size=16).accelerations(
+            pos, m, box_size=BOX
+        )
+        naive = TreePMShortRange(
+            kernel32, leaf_size=16, naive=True
+        ).accelerations(pos, m, box_size=BOX)
+        assert_forces_close(batched, naive, 1e-4)
+
+    @pytest.mark.parametrize("cloud", sorted(CLOUDS))
+    def test_p3m_batched_vs_naive(self, kernel, rng, cloud):
+        pos = CLOUDS[cloud](rng, 500)
+        m = rng.uniform(0.5, 1.5, 500)
+        batched = P3MShortRange(kernel).accelerations(pos, m, box_size=BOX)
+        naive = P3MShortRange(kernel, naive=True).accelerations(
+            pos, m, box_size=BOX
+        )
+        assert_forces_close(batched, naive, 1e-6)
+
+    def test_multitree_batched_vs_naive(self, kernel, rng):
+        pos = clustered_cloud(rng, 500)
+        m = rng.uniform(0.5, 1.5, 500)
+        batched = MultiTreeShortRange(
+            kernel, leaf_size=16, n_trees=4
+        ).accelerations(pos, m, box_size=BOX)
+        naive = MultiTreeShortRange(
+            kernel, leaf_size=16, n_trees=4, naive=True
+        ).accelerations(pos, m, box_size=BOX)
+        assert_forces_close(batched, naive, 1e-6)
+
+    def test_interaction_counts_identical(self, kernel, rng):
+        """The batch encodes the same pairs the naive loops evaluate."""
+        pos = clustered_cloud(rng, 400)
+        m = np.ones(400)
+        kernel.reset_counters()
+        TreePMShortRange(kernel, leaf_size=16).accelerations(
+            pos, m, box_size=BOX
+        )
+        batched_count = kernel.interaction_count
+        kernel.reset_counters()
+        TreePMShortRange(kernel, leaf_size=16, naive=True).accelerations(
+            pos, m, box_size=BOX
+        )
+        naive_count = kernel.interaction_count
+        assert batched_count == naive_count > 0
+
+    def test_p3m_interaction_counts_identical(self, kernel, rng):
+        pos = uniform_cloud(rng, 300)
+        m = np.ones(300)
+        kernel.reset_counters()
+        P3MShortRange(kernel).accelerations(pos, m, box_size=BOX)
+        batched_count = kernel.interaction_count
+        kernel.reset_counters()
+        P3MShortRange(kernel, naive=True).accelerations(
+            pos, m, box_size=BOX
+        )
+        assert batched_count == kernel.interaction_count > 0
+
+    def test_multitree_balance_report_consistent(self, kernel, rng):
+        pos = clustered_cloud(rng, 400)
+        m = np.ones(400)
+        solver_b = MultiTreeShortRange(kernel, leaf_size=16, n_trees=4)
+        solver_n = MultiTreeShortRange(
+            kernel, leaf_size=16, n_trees=4, naive=True
+        )
+        solver_b.accelerations(pos, m, box_size=BOX)
+        rb = solver_b.last_balance_report()
+        solver_n.accelerations(pos, m, box_size=BOX)
+        rn = solver_n.last_balance_report()
+        assert rb["blocks"] == rn["blocks"]
+        assert rb["particles_per_block"] == rn["particles_per_block"]
+
+    # -------------------------- edge cases --------------------------
+    def test_single_particle(self, kernel):
+        pos = np.array([[5.0, 5.0, 5.0]])
+        acc = TreePMShortRange(kernel).accelerations(
+            pos, np.ones(1), box_size=BOX
+        )
+        np.testing.assert_array_equal(acc, 0.0)
+
+    def test_two_particles_match_direct(self, kernel):
+        pos = np.array([[4.0, 5.0, 5.0], [6.0, 5.0, 5.0]])
+        m = np.array([1.0, 2.0])
+        ref = DirectShortRange(kernel).accelerations(pos, m, box_size=BOX)
+        got = TreePMShortRange(kernel, leaf_size=1).accelerations(
+            pos, m, box_size=BOX
+        )
+        assert_forces_close(got, ref, 1e-12)
+
+    def test_empty_batch_evaluates_to_zero(self, kernel):
+        engine = BatchedPairEngine(kernel)
+        acc = engine.evaluate(
+            InteractionBatch.empty(), np.zeros((0, 3)), np.zeros(0)
+        )
+        assert acc.shape == (0, 3)
+
+    def test_ghost_only_leaves_get_no_force(self, kernel, rng):
+        """Cloud = real cluster + distant ghosts: ghosts receive zero."""
+        real = rng.uniform(4.0, 5.0, (40, 3))
+        ghosts = rng.uniform(8.0, 9.0, (40, 3))
+        cloud = np.concatenate([real, ghosts])
+        masses = np.ones(80)
+        solver = TreePMShortRange(kernel, leaf_size=8)
+        acc = solver.accelerations_cloud(cloud, masses, n_targets=40)
+        naive = TreePMShortRange(
+            kernel, leaf_size=8, naive=True
+        ).accelerations_cloud(cloud, masses, n_targets=40)
+        assert acc.shape == (40, 3)
+        assert_forces_close(acc, naive, 1e-12)
+
+    def test_chunking_invariance(self, kernel, rng):
+        """Tiny chunk_pairs exercises the tiling without changing results."""
+        pos = clustered_cloud(rng, 200)
+        m = np.ones(200)
+        big = TreePMShortRange(kernel, leaf_size=16).accelerations(
+            pos, m, box_size=BOX
+        )
+        tiny = TreePMShortRange(
+            kernel, leaf_size=16, chunk_pairs=64
+        ).accelerations(pos, m, box_size=BOX)
+        assert_forces_close(tiny, big, 1e-12)
+
+
+# ----------------------------------------------------------------------
+# mixed precision
+# ----------------------------------------------------------------------
+class TestDtypePropagation:
+    def test_accumulate_stays_float32(self, kernel32, rng):
+        t = rng.uniform(0, 3, (16, 3))
+        s = rng.uniform(0, 3, (32, 3))
+        out = kernel32.accumulate(t, s, np.ones(32))
+        assert out.dtype == np.float32
+
+    def test_f_sr_cells_stays_float32(self, kernel32):
+        s = np.linspace(0.1, 8.0, 64, dtype=np.float32)
+        assert kernel32.f_sr_cells(s).dtype == np.float32
+
+    def test_pair_coeff_into_matches_f_sr_cells(self, kernel, kernel32):
+        for kern in (kernel, kernel32):
+            s = np.linspace(0.05, 0.9, 40, dtype=kern.dtype)
+            s *= kern.dtype(kern.fit.rcut_cells**2)
+            out = np.empty_like(s)
+            scratch = np.empty_like(s)
+            kern.pair_coeff_into(s, out, scratch)
+            expect = kern.f_sr_cells(s)
+            assert out.dtype == kern.dtype
+            np.testing.assert_allclose(
+                out, expect, rtol=5e-6 if kern.dtype == np.float32 else 1e-12
+            )
+
+    def test_engine_workspaces_are_float32(self, kernel32, rng):
+        pos = clustered_cloud(rng, 200)
+        solver = TreePMShortRange(kernel32, leaf_size=16)
+        solver.accelerations(pos, np.ones(200), box_size=BOX)
+        ws = solver.engine.workspace
+        for name in ("dx", "dy", "dz", "s2", "f"):
+            assert ws._bufs[name].dtype == np.float32, name
+
+    def test_float32_tracks_float64(self, kernel, kernel32, rng):
+        pos = uniform_cloud(rng, 300)
+        m = np.ones(300)
+        a64 = TreePMShortRange(kernel, leaf_size=16).accelerations(
+            pos, m, box_size=BOX
+        )
+        a32 = TreePMShortRange(kernel32, leaf_size=16).accelerations(
+            pos, m, box_size=BOX
+        )
+        assert_forces_close(a32, a64, 1e-4)
+
+
+# ----------------------------------------------------------------------
+# vectorized ghosts
+# ----------------------------------------------------------------------
+class TestGhostDedup:
+    def test_no_duplicate_images(self, rng):
+        """Each (particle, shift) pair appears exactly once."""
+        pos = rng.uniform(0.0, BOX, (500, 3))
+        gp, _ = periodic_ghosts(pos, np.ones(500), BOX, 2.0)
+        rounded = np.round(gp, 9)
+        uniq = np.unique(rounded, axis=0)
+        assert uniq.shape[0] == gp.shape[0]
+
+    def test_masses_follow_particles(self, rng):
+        pos = np.array([[0.1, 5.0, 5.0], [9.9, 5.0, 5.0]])
+        m = np.array([2.0, 3.0])
+        gp, gm = periodic_ghosts(pos, m, BOX, 1.0)
+        # each particle near one face: one image each
+        assert gp.shape[0] == 4
+        assert sorted(gm[2:].tolist()) == [2.0, 3.0]
+
+
+# ----------------------------------------------------------------------
+# FFT plan caches and pencil buffers
+# ----------------------------------------------------------------------
+class TestPlanCaches:
+    def test_factor_chain(self):
+        chain = factor_chain(96)
+        # 96 = 2*48 -> 48 = 2*24 -> 24 (direct cutoff region: 24 <= 31)
+        prod = 1
+        for f in chain:
+            prod *= f
+        assert prod == 96
+        assert chain[-1] <= 31 or len(chain) == 1
+
+    def test_repeat_transform_hits_cache(self):
+        clear_plan_caches()
+        x = np.random.default_rng(0).standard_normal(96)
+        fft1d(x)
+        first = plan_cache_info()
+        fft1d(x)
+        second = plan_cache_info()
+        assert second["split_factor"].hits > first["split_factor"].hits
+        assert second["split_factor"].misses == first["split_factor"].misses
+        assert second["twiddles"].misses == first["twiddles"].misses
+
+    def test_native_backend_still_correct_after_caching(self):
+        rng = np.random.default_rng(1)
+        for n in (37, 64, 96, 100):
+            v = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+            np.testing.assert_allclose(
+                fft1d(v), np.fft.fft(v), atol=1e-10
+            )
+
+
+class TestPencilBuffers:
+    def test_buffers_reused_across_transforms(self):
+        p = PencilFFT(8, 2, 2)
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((8, 8, 8))
+        k1 = p.gather(p.forward(p.scatter(x.astype(np.complex128))), "x-pencil")
+        bytes_after_first = p.transpose_buffer_bytes
+        assert bytes_after_first > 0
+        y = rng.standard_normal((8, 8, 8))
+        k2 = p.gather(p.forward(p.scatter(y.astype(np.complex128))), "x-pencil")
+        assert p.transpose_buffer_bytes == bytes_after_first
+        np.testing.assert_allclose(k1, np.fft.fftn(x), atol=1e-9)
+        np.testing.assert_allclose(k2, np.fft.fftn(y), atol=1e-9)
+
+    def test_roundtrip_with_buffer_reuse(self):
+        p = PencilFFT(8, 2, 2)
+        x = np.random.default_rng(3).standard_normal((8, 8, 8))
+        spec = p.forward(p.scatter(x.astype(np.complex128)))
+        back = p.gather(p.inverse(spec), "z-pencil")
+        np.testing.assert_allclose(back.real, x, atol=1e-10)
+
+
+# ----------------------------------------------------------------------
+# shared CIC coords
+# ----------------------------------------------------------------------
+class TestParticleGridCoords:
+    def test_deposit_matches_uncached(self, rng):
+        pos = rng.uniform(0, BOX, (300, 3))
+        w = rng.uniform(0.5, 1.5, 300)
+        coords = ParticleGridCoords(pos, 16, BOX)
+        a = cic_deposit(pos, 16, BOX, w)
+        b = cic_deposit(pos, 16, BOX, w, coords=coords)
+        np.testing.assert_allclose(a, b, rtol=1e-14)
+
+    def test_interpolate_matches_uncached(self, rng):
+        pos = rng.uniform(0, BOX, (300, 3))
+        grid = rng.standard_normal((16, 16, 16))
+        coords = ParticleGridCoords(pos, 16, BOX)
+        a = cic_interpolate(grid, pos, BOX)
+        b = cic_interpolate(grid, pos, BOX, coords=coords)
+        np.testing.assert_array_equal(a, b)
+
+    def test_weights_sum_to_one(self, rng):
+        coords = ParticleGridCoords(rng.uniform(0, BOX, (100, 3)), 8, BOX)
+        np.testing.assert_allclose(coords.weights.sum(axis=0), 1.0)
+
+    def test_mismatched_grid_rejected(self, rng):
+        coords = ParticleGridCoords(rng.uniform(0, BOX, (10, 3)), 8, BOX)
+        with pytest.raises(ValueError):
+            cic_deposit(np.zeros((10, 3)), 16, BOX, coords=coords)
