@@ -62,6 +62,15 @@ def is_gated(rec: dict, name: str, pattern: str) -> bool:
     return pattern in name or pattern in nodeid
 
 
+def health_verdict_of(rec: dict) -> str | None:
+    """The health verdict a telemetry-enabled bench attached, if any."""
+    tel = rec.get("payload", {}).get("telemetry")
+    if not isinstance(tel, dict):
+        return None
+    verdict = tel.get("health_verdict")
+    return str(verdict) if verdict is not None else None
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument(
@@ -92,6 +101,12 @@ def main(argv: list[str] | None = None) -> int:
         "--update-baseline",
         action="store_true",
         help="copy the fresh records over the baseline and exit",
+    )
+    ap.add_argument(
+        "--check-health",
+        action="store_true",
+        help="also fail on records whose attached physics health "
+             "verdict is CRIT (benches run with telemetry enabled)",
     )
     args = ap.parse_args(argv)
 
@@ -126,6 +141,10 @@ def main(argv: list[str] | None = None) -> int:
         base_rec = baseline.get(name)
         gated = is_gated(rec, name, args.pattern)
         tag = "gate" if gated else "info"
+        verdict = health_verdict_of(rec)
+        if args.check_health and verdict == "CRIT":
+            failures.append(f"{name}: physics health verdict CRIT")
+            rows.append((name, "health", "-", "-", "CRIT"))
         if cur is None:
             rows.append((name, tag, "-", "-", "no duration"))
             continue
@@ -155,7 +174,7 @@ def main(argv: list[str] | None = None) -> int:
         print("  ".join(c.ljust(w) for c, w in zip(r, widths)))
 
     if failures:
-        print("\nFAIL: benchmark regression(s) above threshold:")
+        print("\nFAIL: benchmark regression(s) or health failure(s):")
         for f in failures:
             print(f"  {f}")
         return 1

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# CI lane: smoke tests + Fig. 5 kernel benchmarks + regression/health gate.
+#
+# Usage: scripts/ci_check.sh
+#
+# Runs the fast ("not slow") test suite, regenerates the gated Fig. 5
+# benchmark records, and checks them against the stored baseline with
+# benchmarks/check_regression.py --check-health (fails on >20% slowdown
+# of a gated bench or a CRIT physics-health verdict).  Bootstraps the
+# baseline on first run instead of failing.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$REPO_ROOT"
+
+PYTHON="${PYTHON:-python}"
+
+echo "== 1/3 smoke tests (pytest -m 'not slow') =="
+PYTHONPATH=src "$PYTHON" -m pytest tests -q -m "not slow"
+
+echo "== 2/3 fig5 kernel benchmarks =="
+(cd benchmarks && PYTHONPATH=../src "$PYTHON" -m pytest bench_fig5_kernel_threading.py -q)
+
+echo "== 3/3 regression + health gate =="
+if [ ! -d benchmarks/records/baseline ] || \
+   ! ls benchmarks/records/baseline/BENCH_*.json >/dev/null 2>&1; then
+    echo "no baseline found -- bootstrapping from this run"
+    "$PYTHON" benchmarks/check_regression.py --update-baseline
+fi
+"$PYTHON" benchmarks/check_regression.py --check-health
+
+echo "ci_check: all gates passed"

@@ -8,7 +8,9 @@ construction instead of mid-simulation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, replace
 
 import numpy as np
 
@@ -168,3 +170,19 @@ class SimulationConfig:
     def with_(self, **kwargs) -> "SimulationConfig":
         """Copy with selected fields replaced."""
         return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------
+    # provenance
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-JSON view of the full configuration (cosmology nested)."""
+        return asdict(self)
+
+    def config_hash(self) -> str:
+        """Short stable hash of the configuration for run manifests.
+
+        Two runs share a hash iff every field (cosmology included) is
+        equal, so a telemetry stream identifies the run that produced it.
+        """
+        payload = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]

@@ -29,7 +29,7 @@ from typing import Callable
 import numpy as np
 
 from repro.config import SimulationConfig
-from repro.instrument import get_registry
+from repro.instrument import get_registry, get_telemetry
 from repro.core.particles import Particles
 from repro.core.timestepper import SubcycledStepper
 from repro.cosmology.initial_conditions import make_initial_conditions
@@ -168,6 +168,9 @@ class HACCSimulation:
         self._edges = config.step_edges()
         self._step_index = 0
         self.timings: dict[str, float] = defaultdict(float)
+        #: optional physics health monitor (see :meth:`attach_health`)
+        self.health = None
+        self._comm_bytes_prev: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # force callbacks
@@ -210,8 +213,15 @@ class HACCSimulation:
             self.particles.masses,
             self.particles.ids,
         )
+        tel = get_telemetry()
         acc = np.zeros_like(positions)
         for dom in domains:
+            if tel.enabled:
+                tel.gauge("particles", dom.rank, dom.n_active)
+                tel.gauge("ghosts", dom.rank, dom.n_passive)
+                tel.gauge(
+                    "ghost_fraction", dom.rank, dom.overload_fraction()
+                )
             if dom.n_total == 0:
                 continue
             order = np.argsort(~dom.active, kind="stable")  # actives first
@@ -219,9 +229,79 @@ class HACCSimulation:
             mas = dom.masses[order]
             ids = dom.ids[order]
             n_act = dom.n_active
+            k0 = self.kernel.interaction_count if tel.enabled else 0
             local = self.short_solver.accelerations_cloud(pos, mas, n_act)
+            if tel.enabled:
+                tel.add_gauge(
+                    "interactions",
+                    dom.rank,
+                    self.kernel.interaction_count - k0,
+                )
+                depth = getattr(self.short_solver, "last_tree_depth", None)
+                if depth is not None:
+                    tel.gauge("tree_depth", dom.rank, depth)
             acc[ids[:n_act]] = local
         return acc
+
+    # ------------------------------------------------------------------
+    # telemetry / health
+    # ------------------------------------------------------------------
+    def attach_health(self, thresholds=None, check_fft: bool = True):
+        """Enable physics health monitoring (see
+        :class:`repro.instrument.SimulationHealth`).
+
+        Must be called before the first step — the monitor snapshots the
+        initial energy state and total momentum.  Returns the monitor.
+        """
+        from repro.instrument import SimulationHealth
+
+        if self._step_index != 0:
+            raise RuntimeError(
+                "attach_health must be called before the first step"
+            )
+        self.health = SimulationHealth(
+            self, thresholds=thresholds, check_fft=check_fft
+        )
+        return self.health
+
+    def _record_telemetry(self, tel, wall: float) -> None:
+        """Close out one step's telemetry: comm gauges, health, record.
+
+        Runs only when telemetry or health monitoring is enabled, after
+        the step completes; ``self._step_index`` already names the
+        *count* of finished steps, so the record carries index
+        ``_step_index - 1`` (0-based).
+        """
+        step_index = self._step_index - 1
+        if tel.enabled and self.exchange is not None:
+            stats = self.exchange.comm.stats
+            if stats.matrix_enabled:
+                sent = stats.rank_send_bytes()
+                prev = self._comm_bytes_prev
+                delta = sent if prev is None else sent - prev
+                self._comm_bytes_prev = sent
+                for rank, nbytes in enumerate(delta):
+                    tel.gauge("comm_bytes", rank, float(nbytes))
+        residuals: dict[str, float] = {}
+        alerts: tuple = ()
+        if self.health is not None:
+            values = self.health.values()
+            residuals = dict(values)
+            if tel.enabled:
+                imb = tel.peek_imbalance()
+                if imb:
+                    values["imbalance"] = max(imb.values())
+            events = self.health.monitor.check(step_index, values)
+            self.health.last_events = events
+            alerts = tuple(e.to_dict() for e in events)
+        if tel.enabled:
+            tel.record_step(
+                step_index,
+                self.a,
+                wall,
+                residuals=residuals,
+                alerts=alerts,
+            )
 
     # ------------------------------------------------------------------
     # evolution
@@ -238,10 +318,15 @@ class HACCSimulation:
         a0 = self._edges[self._step_index]
         a1 = self._edges[self._step_index + 1]
         reg = get_registry()
+        tel = get_telemetry()
+        t0 = time.perf_counter()
         with reg.step(self._step_index), reg.span("step"):
             self.stepper.step(self.particles, a0, a1)
+        wall = time.perf_counter() - t0
         self.a = a1
         self._step_index += 1
+        if tel.enabled or self.health is not None:
+            self._record_telemetry(tel, wall)
         logger.debug(
             "step %d/%d done: a = %.5f (z = %.3f)",
             self._step_index, self.config.n_steps, self.a, self.redshift,

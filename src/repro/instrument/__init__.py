@@ -47,21 +47,61 @@ from repro.instrument.registry import (
     use,
 )
 from repro.instrument.logconfig import logging_setup
+from repro.instrument.telemetry import (
+    NullTelemetry,
+    RunStream,
+    StepTelemetry,
+    Telemetry,
+    disable_telemetry,
+    enable_telemetry,
+    get_telemetry,
+    imbalance_factor,
+    read_stream,
+    run_manifest,
+    set_telemetry,
+    sparkline,
+    use_telemetry,
+)
+from repro.instrument.health import (
+    HealthEvent,
+    HealthMonitor,
+    HealthThresholds,
+    SimulationHealth,
+    Threshold,
+)
 
 __all__ = [
     "Counter",
     "FakeClock",
+    "HealthEvent",
+    "HealthMonitor",
+    "HealthThresholds",
     "NullRegistry",
+    "NullTelemetry",
     "Registry",
+    "RunStream",
+    "SimulationHealth",
     "SpanEvent",
     "StepRecord",
+    "StepTelemetry",
+    "Telemetry",
+    "Threshold",
     "count",
     "disable",
+    "disable_telemetry",
     "enable",
+    "enable_telemetry",
     "get_registry",
+    "get_telemetry",
+    "imbalance_factor",
     "logging_setup",
+    "read_stream",
+    "run_manifest",
     "set_registry",
+    "set_telemetry",
     "span",
+    "sparkline",
     "timed",
     "use",
+    "use_telemetry",
 ]

@@ -29,7 +29,7 @@ __all__ = [
     "to_jsonl_string",
 ]
 
-_CSV_FIELDS = ("name", "path", "start", "end", "duration", "thread")
+_CSV_FIELDS = ("name", "path", "start", "end", "duration", "thread", "rank")
 
 
 @contextmanager
@@ -107,7 +107,7 @@ def write_csv(registry: Registry | NullRegistry, dest) -> int:
         for ev in events:
             writer.writerow(
                 [ev.name, ev.path, repr(ev.start), repr(ev.end),
-                 repr(ev.duration), ev.thread]
+                 repr(ev.duration), ev.thread, ev.rank]
             )
     return len(events)
 
@@ -123,6 +123,7 @@ def load_csv(src) -> list[SpanEvent]:
                 start=float(row["start"]),
                 end=float(row["end"]),
                 thread=int(row["thread"]),
+                rank=int(row.get("rank") or 0),
             )
             for row in reader
         ]
@@ -134,9 +135,13 @@ def load_csv(src) -> list[SpanEvent]:
 def write_chrome_trace(registry: Registry | NullRegistry, dest) -> int:
     """Chrome ``trace_event`` JSON (complete events, microsecond units).
 
-    Counters are attached as ``"ph": "C"`` counter events at the end of
-    the trace so they show up as tracks in the viewer.  Returns the
-    number of trace events written.
+    Each simulated rank gets its own process lane: span events carry
+    ``pid = rank`` (thread id inside the lane) and every lane is labelled
+    with a ``process_name`` metadata event, so a multi-rank run reads as
+    a rank-by-rank timeline in the viewer.  Counters are attached as
+    ``"ph": "C"`` counter events at the end of the trace so they show up
+    as tracks.  Returns the number of trace events written (metadata
+    excluded).
     """
     events = registry.events
     trace = [
@@ -146,7 +151,7 @@ def write_chrome_trace(registry: Registry | NullRegistry, dest) -> int:
             "ph": "X",
             "ts": ev.start * 1e6,
             "dur": ev.duration * 1e6,
-            "pid": 0,
+            "pid": ev.rank,
             "tid": ev.thread,
             "args": {"path": ev.path},
         }
@@ -164,9 +169,19 @@ def write_chrome_trace(registry: Registry | NullRegistry, dest) -> int:
                 "args": {"value": value},
             }
         )
+    n_spans_counters = len(trace)
+    for rank in sorted({ev.rank for ev in events}):
+        trace.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": rank,
+                "args": {"name": f"rank {rank}"},
+            }
+        )
     with _open_text(dest, "w") as fh:
         json.dump({"traceEvents": trace, "displayTimeUnit": "ms"}, fh)
-    return len(trace)
+    return n_spans_counters
 
 
 def load_chrome_trace(src) -> dict:
@@ -189,6 +204,7 @@ def load_chrome_trace(src) -> dict:
                     start=start,
                     end=start + ev["dur"] / 1e6,
                     thread=ev["tid"],
+                    rank=ev.get("pid", 0),
                 )
             )
         elif ev["ph"] == "C":

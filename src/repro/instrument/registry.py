@@ -43,7 +43,9 @@ class SpanEvent:
 
     ``path`` encodes the nesting at the time the span was entered
     (``step/longrange/fft.forward``); ``name`` is the leaf label used for
-    aggregation across call sites.
+    aggregation across call sites.  ``rank`` attributes the span to a
+    simulated rank (0 for process-global sections); the Chrome-trace
+    exporter renders distinct ranks as distinct process lanes.
     """
 
     name: str
@@ -51,6 +53,7 @@ class SpanEvent:
     start: float
     end: float
     thread: int
+    rank: int = 0
 
     @property
     def duration(self) -> float:
@@ -63,6 +66,7 @@ class SpanEvent:
             "start": self.start,
             "end": self.end,
             "thread": self.thread,
+            "rank": self.rank,
         }
 
 
@@ -124,13 +128,14 @@ class FakeClock:
 class _SpanHandle:
     """Context manager for one live span (allocated only when enabled)."""
 
-    __slots__ = ("_registry", "name", "path", "start")
+    __slots__ = ("_registry", "name", "path", "start", "rank")
 
-    def __init__(self, registry: "Registry", name: str) -> None:
+    def __init__(self, registry: "Registry", name: str, rank: int = 0) -> None:
         self._registry = registry
         self.name = name
         self.path = ""
         self.start = 0.0
+        self.rank = rank
 
     def __enter__(self) -> "_SpanHandle":
         reg = self._registry
@@ -181,7 +186,7 @@ class NullRegistry:
 
     enabled = False
 
-    def span(self, name: str) -> _NullSpan:
+    def span(self, name: str, rank: int = 0) -> _NullSpan:
         return _NULL_SPAN
 
     def count(self, name: str, value: float = 1) -> None:
@@ -277,6 +282,7 @@ class Registry:
                         start=handle.start,
                         end=end,
                         thread=threading.get_ident(),
+                        rank=handle.rank,
                     )
                 )
             else:
@@ -295,9 +301,13 @@ class Registry:
     # ------------------------------------------------------------------
     # recording API
     # ------------------------------------------------------------------
-    def span(self, name: str) -> _SpanHandle:
-        """Context manager timing ``name``, nested under the open span."""
-        return _SpanHandle(self, name)
+    def span(self, name: str, rank: int = 0) -> _SpanHandle:
+        """Context manager timing ``name``, nested under the open span.
+
+        ``rank`` tags the resulting event with a simulated-rank lane for
+        per-rank trace visualization; aggregation ignores it.
+        """
+        return _SpanHandle(self, name, rank)
 
     def count(self, name: str, value: float = 1) -> None:
         """Accumulate ``value`` into counter ``name``."""
@@ -452,9 +462,9 @@ def use(registry: Registry | NullRegistry) -> Iterator[Registry | NullRegistry]:
         set_registry(previous)
 
 
-def span(name: str):
+def span(name: str, rank: int = 0):
     """Time a section against the active registry (module-level sugar)."""
-    return _active.span(name)
+    return _active.span(name, rank)
 
 
 def count(name: str, value: float = 1) -> None:

@@ -1,0 +1,487 @@
+"""Per-rank telemetry: gauges, imbalance factors, and live run streams.
+
+The instrumentation registry (PR 1) aggregates process-global spans and
+counters; this module adds the *rank* dimension the paper's scaling
+story actually lives in (Sec. 4, Figs. 7-8: particle overloading keeps
+the per-rank work balanced, and the 2-D pencil FFT keeps per-rank
+message volume bounded).  Three pieces:
+
+* **per-rank gauges** — named per-step, per-rank samples (particles per
+  rank, ghost fraction, PP interactions per rank, tree depth, bytes on
+  the wire) collected by the simulation driver and the solvers, reduced
+  to the paper-style ``max/mean`` *imbalance factor* each step;
+* **step events** — one :class:`StepTelemetry` per simulation step
+  (scale factor, wall time, gauges, imbalance factors, physics
+  residuals, health alerts), the unit the run monitor renders;
+* **run streams** — an append-only JSONL file (:class:`RunStream`):
+  a manifest line (config hash, package versions, RNG seed), one
+  telemetry line per step flushed immediately so ``python -m repro
+  monitor`` can tail a *live* run, and an end line with the final health
+  verdict.
+
+Like the registry, the process-global default is a no-op
+(:class:`NullTelemetry`): the driver's hook is a single attribute test,
+so disabled telemetry adds no allocations to the stepping hot path.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping
+
+__all__ = [
+    "StepTelemetry",
+    "NullTelemetry",
+    "Telemetry",
+    "RunStream",
+    "get_telemetry",
+    "set_telemetry",
+    "enable_telemetry",
+    "disable_telemetry",
+    "use_telemetry",
+    "read_stream",
+    "iter_stream",
+    "imbalance_factor",
+    "sparkline",
+    "run_manifest",
+]
+
+
+def imbalance_factor(values: Iterable[float]) -> float:
+    """The paper-style load-imbalance measure: ``max / mean``.
+
+    1.0 means perfect balance; the factor is what the overloading
+    discussion (Sec. 4) keeps near unity.  Empty input returns 0.0, an
+    all-zero sample returns 1.0 (no work anywhere is balanced work).
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return 0.0
+    mean = sum(vals) / len(vals)
+    if mean == 0.0:
+        return 1.0
+    return max(vals) / mean
+
+
+@dataclass(frozen=True)
+class StepTelemetry:
+    """Everything telemetry knows about one completed simulation step."""
+
+    index: int
+    a: float
+    wall_time: float
+    gauges: dict
+    imbalance: dict
+    residuals: dict
+    alerts: tuple
+
+    @property
+    def z(self) -> float:
+        return 1.0 / self.a - 1.0 if self.a > 0 else float("inf")
+
+    def to_dict(self) -> dict:
+        return {
+            "step": self.index,
+            "a": self.a,
+            "z": self.z,
+            "wall_time": self.wall_time,
+            "gauges": {
+                name: {str(r): v for r, v in ranks.items()}
+                for name, ranks in self.gauges.items()
+            },
+            "imbalance": dict(self.imbalance),
+            "residuals": dict(self.residuals),
+            "alerts": list(self.alerts),
+        }
+
+
+class RunStream:
+    """Append-only JSONL stream of one run, flushed line by line.
+
+    The first line is the manifest (when given), then one
+    ``kind: "telemetry"`` line per step, then a ``kind: "end"`` line —
+    each flushed as written, so a concurrent ``python -m repro monitor
+    --follow`` sees steps as they complete.
+    """
+
+    def __init__(self, path, manifest: dict | None = None) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "w", encoding="utf-8")
+        self._lock = threading.Lock()
+        self.closed = False
+        if manifest is not None:
+            self.append({"kind": "manifest", **manifest})
+
+    def append(self, record: Mapping) -> None:
+        """Write one JSON line and flush it."""
+        rec = dict(record)
+        rec.setdefault("kind", "telemetry")
+        with self._lock:
+            if self.closed:
+                raise ValueError(f"stream {self.path} is closed")
+            self._fh.write(json.dumps(rec) + "\n")
+            self._fh.flush()
+
+    def close(self, end: Mapping | None = None) -> None:
+        """Optionally write the ``kind: "end"`` record, then close."""
+        if self.closed:
+            return
+        if end is not None:
+            self.append({**dict(end), "kind": "end"})
+        with self._lock:
+            self.closed = True
+            self._fh.close()
+
+    def __enter__(self) -> "RunStream":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+def iter_stream(src) -> Iterator[dict]:
+    """Yield the parsed records of a telemetry JSONL file or open file.
+
+    Unparseable trailing lines (a live writer mid-line) are skipped
+    silently — the next poll will see them completed.
+    """
+    if isinstance(src, (str, Path)):
+        with open(src, "r", encoding="utf-8") as fh:
+            yield from iter_stream(fh)
+        return
+    for line in src:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            yield json.loads(line)
+        except json.JSONDecodeError:
+            continue
+
+
+def read_stream(src) -> dict:
+    """Parse a whole stream: ``{"manifest": ..., "steps": [...], "end": ...}``.
+
+    ``manifest`` and ``end`` are ``None`` when the stream does not (yet)
+    contain them; ``steps`` holds the telemetry records in order.
+    """
+    manifest = None
+    end = None
+    steps: list[dict] = []
+    for rec in iter_stream(src):
+        kind = rec.get("kind")
+        if kind == "manifest":
+            manifest = rec
+        elif kind == "end":
+            end = rec
+        elif kind == "telemetry":
+            steps.append(rec)
+    return {"manifest": manifest, "steps": steps, "end": end}
+
+
+#: unicode block ramp used by :func:`sparkline`
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Iterable[float], width: int = 32) -> str:
+    """Render a sequence as a unicode sparkline, downsampled to ``width``.
+
+    A constant sequence renders at the lowest level; non-finite values
+    render as spaces.
+    """
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    if len(vals) > width:
+        # average adjacent windows down to `width` samples
+        out = []
+        for i in range(width):
+            lo = i * len(vals) // width
+            hi = max((i + 1) * len(vals) // width, lo + 1)
+            out.append(sum(vals[lo:hi]) / (hi - lo))
+        vals = out
+    finite = [v for v in vals if v == v and abs(v) != float("inf")]
+    if not finite:
+        return " " * len(vals)
+    vmin, vmax = min(finite), max(finite)
+    span = vmax - vmin
+    chars = []
+    for v in vals:
+        if v != v or abs(v) == float("inf"):
+            chars.append(" ")
+        elif span == 0:
+            chars.append(_SPARK_CHARS[0])
+        else:
+            idx = int((v - vmin) / span * (len(_SPARK_CHARS) - 1))
+            chars.append(_SPARK_CHARS[idx])
+    return "".join(chars)
+
+
+def run_manifest(config=None, extra: Mapping | None = None) -> dict:
+    """Provenance header for a run stream.
+
+    Records the package versions, the full configuration (plus its
+    stable hash — see :meth:`repro.config.SimulationConfig.config_hash`)
+    and the RNG seed, so a telemetry file identifies the run it came
+    from without any side channel.
+    """
+    import platform
+
+    import numpy
+
+    import repro
+
+    manifest: dict = {
+        "repro_version": repro.__version__,
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "created_unix": time.time(),
+    }
+    try:
+        import scipy
+
+        manifest["scipy"] = scipy.__version__
+    except ImportError:  # pragma: no cover - scipy is a hard dependency
+        manifest["scipy"] = None
+    if config is not None:
+        manifest["config"] = config.to_dict()
+        manifest["config_hash"] = config.config_hash()
+        manifest["seed"] = config.seed
+        manifest["n_steps"] = config.n_steps
+        manifest["n_particles"] = config.n_particles
+        manifest["backend"] = config.backend
+    if extra:
+        manifest.update(dict(extra))
+    return manifest
+
+
+class NullTelemetry:
+    """Disabled telemetry: every operation is a no-op.
+
+    Mirrors :class:`repro.instrument.NullRegistry` — the driver's
+    per-step hook reduces to one attribute test, no allocations.
+    """
+
+    enabled = False
+    stream = None
+
+    def gauge(self, name: str, rank: int, value: float) -> None:
+        return None
+
+    def add_gauge(self, name: str, rank: int, value: float) -> None:
+        return None
+
+    def record_step(self, index, a, wall_time, residuals=None, alerts=None):
+        return None
+
+    @property
+    def steps(self) -> list[StepTelemetry]:
+        return []
+
+    @property
+    def last(self) -> StepTelemetry | None:
+        return None
+
+    def imbalance(self, name: str) -> float:
+        return 0.0
+
+    def peek_imbalance(self) -> dict:
+        return {}
+
+    def finish(self, **extra) -> None:
+        return None
+
+    def summary(self) -> dict:
+        return {"enabled": False, "steps": 0, "alerts": 0}
+
+
+class Telemetry:
+    """Live per-rank telemetry collector.
+
+    Parameters
+    ----------
+    stream:
+        Optional :class:`RunStream`; every recorded step is appended to
+        it immediately (the live-monitoring path).
+
+    Usage
+    -----
+    Producers (the simulation driver, the overloaded short-range path)
+    call :meth:`gauge` / :meth:`add_gauge` with per-rank samples while a
+    step runs; the driver then calls :meth:`record_step`, which snapshots
+    the pending gauges into a :class:`StepTelemetry`, computes the
+    ``max/mean`` imbalance factor per gauge, and clears the slate for the
+    next step.
+    """
+
+    enabled = True
+
+    def __init__(self, stream: RunStream | None = None) -> None:
+        self.stream = stream
+        self._lock = threading.Lock()
+        self._pending: dict[str, dict[int, float]] = {}
+        self._steps: list[StepTelemetry] = []
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def gauge(self, name: str, rank: int, value: float) -> None:
+        """Set gauge ``name`` for ``rank`` (overwrites within the step)."""
+        with self._lock:
+            self._pending.setdefault(name, {})[int(rank)] = float(value)
+
+    def add_gauge(self, name: str, rank: int, value: float) -> None:
+        """Accumulate into gauge ``name`` for ``rank`` within the step."""
+        with self._lock:
+            table = self._pending.setdefault(name, {})
+            table[int(rank)] = table.get(int(rank), 0.0) + float(value)
+
+    def record_step(
+        self,
+        index: int,
+        a: float,
+        wall_time: float,
+        residuals: Mapping[str, float] | None = None,
+        alerts: Iterable[Mapping] | None = None,
+    ) -> StepTelemetry:
+        """Close out one step: snapshot gauges, compute imbalance, emit."""
+        with self._lock:
+            gauges = {
+                name: dict(ranks) for name, ranks in self._pending.items()
+            }
+            self._pending.clear()
+        step = StepTelemetry(
+            index=int(index),
+            a=float(a),
+            wall_time=float(wall_time),
+            gauges=gauges,
+            imbalance={
+                name: imbalance_factor(ranks.values())
+                for name, ranks in gauges.items()
+            },
+            residuals=dict(residuals) if residuals else {},
+            alerts=tuple(dict(al) for al in alerts) if alerts else (),
+        )
+        with self._lock:
+            self._steps.append(step)
+        if self.stream is not None:
+            self.stream.append(step.to_dict())
+        return step
+
+    def finish(self, **extra) -> None:
+        """Write the stream's ``end`` record (wall totals, alert counts)."""
+        if self.stream is None or self.stream.closed:
+            return
+        steps = self.steps
+        self.stream.close(
+            end={
+                "steps": len(steps),
+                "wall_time": sum(s.wall_time for s in steps),
+                "alerts": sum(len(s.alerts) for s in steps),
+                **extra,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def steps(self) -> list[StepTelemetry]:
+        with self._lock:
+            return list(self._steps)
+
+    @property
+    def last(self) -> StepTelemetry | None:
+        with self._lock:
+            return self._steps[-1] if self._steps else None
+
+    def imbalance(self, name: str) -> float:
+        """Latest imbalance factor for gauge ``name`` (0.0 if unseen)."""
+        with self._lock:
+            for step in reversed(self._steps):
+                if name in step.imbalance:
+                    return step.imbalance[name]
+        return 0.0
+
+    def peek_imbalance(self) -> dict[str, float]:
+        """Imbalance factors of the gauges pending in the current step.
+
+        Lets the driver feed the health monitor's ``imbalance`` check
+        *before* :meth:`record_step` snapshots (and clears) the gauges.
+        """
+        with self._lock:
+            return {
+                name: imbalance_factor(ranks.values())
+                for name, ranks in self._pending.items()
+            }
+
+    def max_imbalance(self) -> dict[str, float]:
+        """Per-gauge maximum imbalance factor over all recorded steps."""
+        out: dict[str, float] = {}
+        for step in self.steps:
+            for name, factor in step.imbalance.items():
+                out[name] = max(out.get(name, 0.0), factor)
+        return out
+
+    def summary(self) -> dict:
+        steps = self.steps
+        return {
+            "enabled": True,
+            "steps": len(steps),
+            "alerts": sum(len(s.alerts) for s in steps),
+            "max_imbalance": self.max_imbalance(),
+            "wall_time": sum(s.wall_time for s in steps),
+        }
+
+
+# ----------------------------------------------------------------------
+# process-global active telemetry (mirrors the registry pattern)
+# ----------------------------------------------------------------------
+_active: Telemetry | NullTelemetry = NullTelemetry()
+
+
+def get_telemetry() -> Telemetry | NullTelemetry:
+    """The currently active telemetry (the shared no-op by default)."""
+    return _active
+
+
+def set_telemetry(
+    telemetry: Telemetry | NullTelemetry,
+) -> Telemetry | NullTelemetry:
+    """Install ``telemetry`` as the active one; returns it."""
+    global _active
+    _active = telemetry
+    return _active
+
+
+def enable_telemetry(stream: RunStream | None = None) -> Telemetry:
+    """Install and return a fresh live :class:`Telemetry`."""
+    return set_telemetry(Telemetry(stream=stream))
+
+
+def disable_telemetry() -> NullTelemetry:
+    """Restore the no-op telemetry; returns it."""
+    return set_telemetry(NullTelemetry())
+
+
+class use_telemetry:
+    """Context manager: temporarily install ``telemetry`` (tests)."""
+
+    def __init__(self, telemetry: Telemetry | NullTelemetry) -> None:
+        self.telemetry = telemetry
+        self._previous: Telemetry | NullTelemetry | None = None
+
+    def __enter__(self) -> Telemetry | NullTelemetry:
+        self._previous = _active
+        set_telemetry(self.telemetry)
+        return self.telemetry
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        set_telemetry(self._previous)
+        return False

@@ -29,28 +29,85 @@ from repro.instrument import get_registry
 __all__ = ["CommStats", "SimulatedComm"]
 
 
+#: log2 message-size histogram buckets: bucket ``b`` holds messages whose
+#: byte count has ``bit_length() == b``, i.e. sizes in ``[2^(b-1), 2^b)``
+HISTOGRAM_BUCKETS = 48
+
+
 @dataclass
 class CommStats:
-    """Cumulative communication traffic recorded by a communicator tree."""
+    """Cumulative communication traffic recorded by a communicator tree.
+
+    Parameters
+    ----------
+    n_ranks:
+        When given, per-pair traffic (the point-to-point collectives:
+        ``alltoallv`` and ``exchange``) is additionally accumulated into
+        ``n_ranks x n_ranks`` message/byte matrices indexed by *global*
+        rank ids — the per-rank communication volume behind the paper's
+        pencil-FFT transpose accounting (Figs. 7-8).  Tree-modelled
+        collectives (allreduce/allgather/barrier) have no physical
+        (src, dst) pairs and appear only in the aggregate counters.
+    """
 
     messages: int = 0
     bytes: int = 0
     by_tag: dict = field(default_factory=lambda: defaultdict(lambda: [0, 0]))
+    n_ranks: int | None = None
 
-    def record(self, n_messages: int, n_bytes: int, tag: str) -> None:
+    def __post_init__(self) -> None:
+        self.msg_matrix: np.ndarray | None = None
+        self.byte_matrix: np.ndarray | None = None
+        if self.n_ranks is not None:
+            if self.n_ranks < 1:
+                raise ValueError(f"n_ranks must be >= 1: {self.n_ranks}")
+            self.msg_matrix = np.zeros(
+                (self.n_ranks, self.n_ranks), dtype=np.int64
+            )
+            self.byte_matrix = np.zeros(
+                (self.n_ranks, self.n_ranks), dtype=np.int64
+            )
+        #: per-tag log2 message-size histograms (lazily created)
+        self.by_tag_hist: dict[str, np.ndarray] = {}
+
+    @property
+    def matrix_enabled(self) -> bool:
+        return self.byte_matrix is not None
+
+    def record(
+        self,
+        n_messages: int,
+        n_bytes: int,
+        tag: str,
+        pairs: Iterable[tuple[int, int, int]] | None = None,
+    ) -> None:
         """Add ``n_messages`` totalling ``n_bytes`` under phase ``tag``.
 
-        Traffic is mirrored into the active instrument registry (no-op by
-        default) as ``comm.messages`` / ``comm.bytes`` totals plus a
-        per-tag ``comm.bytes[<tag>]`` breakdown, so profiled runs report
-        message volume — notably the FFT transpose volume — alongside the
-        section timers.
+        ``pairs`` optionally itemizes the same traffic as
+        ``(src_global_rank, dst_global_rank, n_bytes)`` triples; when
+        present they feed the rank-pair matrices and the per-tag
+        message-size histogram.  Traffic is mirrored into the active
+        instrument registry (no-op by default) as ``comm.messages`` /
+        ``comm.bytes`` totals plus a per-tag ``comm.bytes[<tag>]``
+        breakdown, so profiled runs report message volume — notably the
+        FFT transpose volume — alongside the section timers.
         """
         self.messages += int(n_messages)
         self.bytes += int(n_bytes)
         entry = self.by_tag[tag]
         entry[0] += int(n_messages)
         entry[1] += int(n_bytes)
+        if pairs:
+            hist = self.by_tag_hist.get(tag)
+            if hist is None:
+                hist = np.zeros(HISTOGRAM_BUCKETS, dtype=np.int64)
+                self.by_tag_hist[tag] = hist
+            mm, bm = self.msg_matrix, self.byte_matrix
+            for src, dst, size in pairs:
+                hist[min(int(size).bit_length(), HISTOGRAM_BUCKETS - 1)] += 1
+                if bm is not None:
+                    mm[src, dst] += 1
+                    bm[src, dst] += size
         reg = get_registry()
         if reg.enabled:
             reg.count("comm.messages", int(n_messages))
@@ -58,22 +115,73 @@ class CommStats:
             reg.count(f"comm.bytes[{tag}]", int(n_bytes))
 
     def reset(self) -> None:
-        """Zero all counters."""
+        """Zero all counters, matrices and histograms."""
         self.messages = 0
         self.bytes = 0
         self.by_tag.clear()
+        self.by_tag_hist.clear()
+        if self.msg_matrix is not None:
+            self.msg_matrix[:] = 0
+            self.byte_matrix[:] = 0
 
     def tag_bytes(self, tag: str) -> int:
         """Bytes recorded under ``tag`` (0 if the tag never appeared)."""
         return self.by_tag[tag][1] if tag in self.by_tag else 0
 
+    def tag_messages(self, tag: str) -> int:
+        """Messages recorded under ``tag`` (0 if the tag never appeared)."""
+        return self.by_tag[tag][0] if tag in self.by_tag else 0
+
+    def tag_histogram(self, tag: str) -> np.ndarray:
+        """Log2 message-size histogram for ``tag`` (zeros if absent).
+
+        Bucket ``b`` counts messages with ``size.bit_length() == b``,
+        i.e. sizes in ``[2^(b-1), 2^b)`` bytes.
+        """
+        hist = self.by_tag_hist.get(tag)
+        if hist is None:
+            return np.zeros(HISTOGRAM_BUCKETS, dtype=np.int64)
+        return hist.copy()
+
+    def rank_send_bytes(self) -> np.ndarray:
+        """Bytes sent per global rank (matrix row sums)."""
+        if self.byte_matrix is None:
+            raise RuntimeError(
+                "rank matrices disabled; construct CommStats(n_ranks=...)"
+            )
+        return self.byte_matrix.sum(axis=1)
+
+    def rank_recv_bytes(self) -> np.ndarray:
+        """Bytes received per global rank (matrix column sums)."""
+        if self.byte_matrix is None:
+            raise RuntimeError(
+                "rank matrices disabled; construct CommStats(n_ranks=...)"
+            )
+        return self.byte_matrix.sum(axis=0)
+
     def summary(self) -> dict:
-        """Plain-dict snapshot, convenient for logging and benchmarks."""
-        return {
+        """Plain-dict snapshot, convenient for logging and benchmarks.
+
+        Per-tag entries carry explicit ``messages`` *and* ``bytes``
+        counts (plus the size histogram when per-pair traffic was
+        recorded); rank totals appear when the matrices are enabled.
+        """
+        out = {
             "messages": self.messages,
             "bytes": self.bytes,
-            "by_tag": {k: tuple(v) for k, v in self.by_tag.items()},
+            "by_tag": {
+                k: {"messages": v[0], "bytes": v[1]}
+                for k, v in self.by_tag.items()
+            },
         }
+        for tag, hist in self.by_tag_hist.items():
+            out["by_tag"][tag]["size_histogram"] = {
+                int(b): int(c) for b, c in enumerate(hist) if c
+            }
+        if self.byte_matrix is not None:
+            out["rank_send_bytes"] = self.rank_send_bytes().tolist()
+            out["rank_recv_bytes"] = self.rank_recv_bytes().tolist()
+        return out
 
 
 def _nbytes(obj) -> int:
@@ -119,12 +227,17 @@ class SimulatedComm:
         if size < 1:
             raise ValueError(f"communicator size must be >= 1, got {size}")
         self.size = int(size)
-        self.stats = stats if stats is not None else CommStats()
+        self.stats = stats if stats is not None else CommStats(n_ranks=size)
         self.members = (
             tuple(range(size)) if members is None else tuple(members)
         )
         if len(self.members) != self.size:
             raise ValueError("members must have exactly `size` entries")
+        if self.stats.matrix_enabled and max(self.members) >= self.stats.n_ranks:
+            raise ValueError(
+                f"member rank {max(self.members)} exceeds the stats matrix "
+                f"size {self.stats.n_ranks}"
+            )
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -151,6 +264,8 @@ class SimulatedComm:
             )
         msgs = 0
         nbytes = 0
+        pairs: list[tuple[int, int, int]] = []
+        members = self.members
         recv: list[list] = [[None] * n for _ in range(n)]
         for i, row in enumerate(sendbufs):
             if len(row) != n:
@@ -164,7 +279,8 @@ class SimulatedComm:
                     if size:
                         msgs += 1
                         nbytes += size
-        self.stats.record(msgs, nbytes, tag)
+                        pairs.append((members[i], members[j], size))
+        self.stats.record(msgs, nbytes, tag, pairs=pairs)
         return recv
 
     def exchange(
@@ -179,6 +295,8 @@ class SimulatedComm:
         """
         msgs = 0
         nbytes = 0
+        pairs: list[tuple[int, int, int]] = []
+        members = self.members
         for (src, dst), payload in sends.items():
             self._check_rank(src)
             self._check_rank(dst)
@@ -187,7 +305,8 @@ class SimulatedComm:
                 if size:
                     msgs += 1
                     nbytes += size
-        self.stats.record(msgs, nbytes, tag)
+                    pairs.append((members[src], members[dst], size))
+        self.stats.record(msgs, nbytes, tag, pairs=pairs)
         return dict(sends)
 
     def allreduce(

@@ -32,7 +32,27 @@ import numpy as np
 from repro.parallel.comm import SimulatedComm
 from repro.parallel.decomposition import DomainDecomposition
 
-__all__ = ["OverloadedDomain", "OverloadExchange"]
+__all__ = ["OverloadedDomain", "OverloadExchange", "domain_stats"]
+
+
+def domain_stats(domains: list["OverloadedDomain"]) -> dict:
+    """Per-rank load summary of a set of overloaded domains.
+
+    Feeds the telemetry imbalance gauges: ``active`` / ``passive`` counts
+    and ghost (overload) fraction keyed by rank, plus the paper-style
+    ``max/mean`` imbalance factor of the active counts.
+    """
+    active = {dom.rank: dom.n_active for dom in domains}
+    counts = list(active.values())
+    mean = sum(counts) / len(counts) if counts else 0.0
+    return {
+        "active": active,
+        "passive": {dom.rank: dom.n_passive for dom in domains},
+        "ghost_fraction": {
+            dom.rank: dom.overload_fraction() for dom in domains
+        },
+        "imbalance": (max(counts) / mean) if mean else 0.0,
+    }
 
 
 @dataclass

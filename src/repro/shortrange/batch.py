@@ -291,6 +291,10 @@ class BatchedPairEngine:
         self.kernel = kernel
         self.chunk_pairs = int(chunk_pairs)
         self.workspace = Workspace()
+        #: pair counts of the most recent :meth:`evaluate` call — the
+        #: per-rank interactions gauge of the telemetry layer reads these
+        self.last_pairs: int = 0
+        self.last_inside_pairs: int = 0
 
     # ------------------------------------------------------------------
     def evaluate(
@@ -320,6 +324,8 @@ class BatchedPairEngine:
             raise ValueError(f"positions must be (N, 3), got {pos.shape}")
         acc = np.zeros((n, 3), dtype=np.float64)
         total_pairs = batch.n_pairs
+        self.last_pairs = total_pairs
+        self.last_inside_pairs = 0
         if n == 0 or total_pairs == 0:
             return acc
         kern = self.kernel
@@ -386,6 +392,7 @@ class BatchedPairEngine:
                 acc[tidx] += gacc
         kern.record_interactions(total_pairs)
         reg.count("pp.batch.inside_pairs", inside_pairs)
+        self.last_inside_pairs = inside_pairs
         return acc
 
     # ------------------------------------------------------------------

@@ -183,11 +183,14 @@ class TreePMShortRange(ShortRangeSolver):
         self.engine = BatchedPairEngine(kernel, chunk_pairs=chunk_pairs)
         #: populated after each evaluation: interaction-list sizes per leaf
         self.last_list_sizes: np.ndarray | None = None
+        #: populated after each evaluation: RCB tree depth (telemetry gauge)
+        self.last_tree_depth: int = 0
 
     def accelerations_cloud(self, positions, masses, n_targets):
         reg = get_registry()
         with reg.span("tree.build"):
             tree = RCBTree(positions, masses, leaf_size=self.leaf_size)
+        self.last_tree_depth = tree.depth()
         reg.count("tree.build_particles", positions.shape[0])
         if self.naive:
             return self._accelerations_naive(tree, n_targets)

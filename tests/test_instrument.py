@@ -268,6 +268,70 @@ class TestExporters:
         assert exporters.load_jsonl(buf)["spans"] == populated.events
 
 
+class TestRankLanes:
+    """Multi-rank span attribution in the exporters (pid-per-rank lanes)."""
+
+    @pytest.fixture()
+    def multi_rank(self, registry, clock):
+        # interleaved per-rank FFT work, as the pencil sweep records it
+        for rank in (0, 1, 2):
+            with registry.span("fft.1d", rank=rank):
+                clock.advance(0.5)
+        with registry.span("reduce"):  # default lane: rank 0
+            clock.advance(0.25)
+        return registry
+
+    def test_span_events_carry_rank(self, multi_rank):
+        ranks = sorted(e.rank for e in multi_rank.events)
+        assert ranks == [0, 0, 1, 2]
+
+    def test_chrome_trace_has_one_lane_per_rank(self, multi_rank, tmp_path):
+        path = tmp_path / "trace.json"
+        n = exporters.write_chrome_trace(multi_rank, path)
+        with open(path, encoding="utf-8") as fh:
+            raw = json.load(fh)["traceEvents"]
+        spans = [ev for ev in raw if ev["ph"] == "X"]
+        meta = [ev for ev in raw if ev["ph"] == "M"]
+        assert n == len(spans)  # metadata not counted
+        assert sorted({ev["pid"] for ev in spans}) == [0, 1, 2]
+        # each lane is labelled for the viewer
+        labels = {ev["pid"]: ev["args"]["name"] for ev in meta}
+        assert labels == {0: "rank 0", 1: "rank 1", 2: "rank 2"}
+
+    def test_chrome_trace_round_trip_preserves_rank(
+        self, multi_rank, tmp_path
+    ):
+        path = tmp_path / "trace.json"
+        exporters.write_chrome_trace(multi_rank, path)
+        loaded = exporters.load_chrome_trace(path)
+        assert sorted(s.rank for s in loaded["spans"]) == [0, 0, 1, 2]
+
+    def test_csv_round_trip_preserves_rank(self, multi_rank, tmp_path):
+        path = tmp_path / "trace.csv"
+        exporters.write_csv(multi_rank, path)
+        loaded = exporters.load_csv(path)
+        assert loaded == multi_rank.events
+
+    def test_legacy_csv_without_rank_column_loads(self, tmp_path):
+        path = tmp_path / "old.csv"
+        path.write_text(
+            "name,path,start,end,duration,thread\n"
+            "work,work,0.0,1.0,1.0,1\n"
+        )
+        (ev,) = exporters.load_csv(path)
+        assert ev.rank == 0
+
+    def test_pencil_fft_records_per_rank_spans(self, registry):
+        from repro.fft.pencil import PencilFFT
+
+        p = PencilFFT(8, 2, 2)
+        field = np.random.default_rng(3).normal(size=(8, 8, 8))
+        back = p.gather(p.inverse(p.forward(p.scatter(field))), "z-pencil")
+        assert np.allclose(back.real, field, atol=1e-12)
+        lanes = {e.rank for e in registry.events if e.name == "fft.1d"}
+        assert lanes == {0, 1, 2, 3}
+
+
 # ----------------------------------------------------------------------
 # thread safety
 # ----------------------------------------------------------------------

@@ -15,16 +15,95 @@ class TestCommStats:
         assert s.messages == 4
         assert s.bytes == 175
         assert s.tag_bytes("a") == 125
-        assert s.summary()["by_tag"]["b"] == (1, 50)
+        assert s.tag_messages("a") == 3
+        summary = s.summary()
+        # per-tag entries carry message counts, not just bytes
+        assert summary["by_tag"]["b"] == {"messages": 1, "bytes": 50}
+        assert summary["by_tag"]["a"] == {"messages": 3, "bytes": 125}
 
     def test_reset(self):
         s = CommStats()
         s.record(1, 10, "x")
         s.reset()
         assert s.messages == 0 and s.bytes == 0 and s.tag_bytes("x") == 0
+        assert s.tag_messages("x") == 0
 
     def test_unknown_tag_bytes_zero(self):
         assert CommStats().tag_bytes("nope") == 0
+        assert CommStats().tag_messages("nope") == 0
+
+    def test_size_histogram(self):
+        s = CommStats()
+        s.record(3, 7 + 64 + 65, "t",
+                 pairs=[(0, 1, 7), (1, 0, 64), (0, 1, 65)])
+        hist = s.tag_histogram("t")
+        assert hist[3] == 1   # 7 bytes -> bucket 3 (sizes in [4, 8))
+        assert hist[7] == 2   # 64 and 65 bytes -> bucket 7 ([64, 128))
+        assert hist.sum() == 3
+        summary = s.summary()
+        assert summary["by_tag"]["t"]["size_histogram"] == {3: 1, 7: 2}
+
+    def test_unknown_tag_histogram_zeros(self):
+        assert CommStats().tag_histogram("nope").sum() == 0
+
+
+class TestRankMatrix:
+    def test_alltoallv_matrix(self):
+        comm = SimulatedComm(3)
+        send = [
+            [np.zeros(i + j) if i != j else None for j in range(3)]
+            for i in range(3)
+        ]
+        comm.alltoallv(send)
+        m = comm.stats.byte_matrix
+        assert m[0, 1] == 1 * 8 and m[0, 2] == 2 * 8
+        assert m[1, 2] == 3 * 8 and m[2, 1] == 3 * 8
+        assert np.all(np.diag(m) == 0)  # self-sends never charged
+        assert comm.stats.msg_matrix.sum() == comm.stats.messages
+
+    def test_exchange_matrix(self):
+        comm = SimulatedComm(4)
+        comm.exchange({(0, 3): np.zeros(2), (3, 0): np.zeros(5)})
+        m = comm.stats.byte_matrix
+        assert m[0, 3] == 16 and m[3, 0] == 40
+        assert comm.stats.rank_send_bytes().tolist() == [16, 0, 0, 40]
+        assert comm.stats.rank_recv_bytes().tolist() == [40, 0, 0, 16]
+
+    def test_split_attributes_to_global_ranks(self):
+        comm = SimulatedComm(4)
+        cols = comm.split([0, 1, 0, 1])  # members (0, 2) and (1, 3)
+        cols[0].alltoallv([[None, np.zeros(1)], [np.zeros(1), None]])
+        m = comm.stats.byte_matrix
+        # local ranks 0/1 of the sub-communicator are global ranks 0/2
+        assert m[0, 2] == 8 and m[2, 0] == 8
+        assert m.sum() == 16
+
+    def test_matrix_disabled_without_n_ranks(self):
+        s = CommStats()
+        assert not s.matrix_enabled
+        with pytest.raises(RuntimeError):
+            s.rank_send_bytes()
+        # recording per-pair traffic still feeds the histogram
+        s.record(1, 8, "t", pairs=[(0, 1, 8)])
+        assert s.tag_histogram("t").sum() == 1
+
+    def test_reset_clears_matrix(self):
+        comm = SimulatedComm(2)
+        comm.exchange({(0, 1): np.zeros(1)})
+        comm.stats.reset()
+        assert comm.stats.byte_matrix.sum() == 0
+        assert comm.stats.tag_histogram("exchange").sum() == 0
+
+    def test_undersized_stats_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedComm(4, stats=CommStats(n_ranks=2))
+
+    def test_summary_includes_rank_totals(self):
+        comm = SimulatedComm(2)
+        comm.exchange({(0, 1): np.zeros(3)})
+        summary = comm.stats.summary()
+        assert summary["rank_send_bytes"] == [24, 0]
+        assert summary["rank_recv_bytes"] == [0, 24]
 
 
 class TestAlltoallv:
