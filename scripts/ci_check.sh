@@ -1,27 +1,33 @@
 #!/usr/bin/env bash
-# CI lane: smoke tests + Fig. 5 kernel benchmarks + regression/health gate.
+# CI lane: smoke tests + chaos lane + Fig. 5 benchmarks + regression gate.
 #
 # Usage: scripts/ci_check.sh
 #
-# Runs the fast ("not slow") test suite, regenerates the gated Fig. 5
-# benchmark records, and checks them against the stored baseline with
-# benchmarks/check_regression.py --check-health (fails on >20% slowdown
-# of a gated bench or a CRIT physics-health verdict).  Bootstraps the
-# baseline on first run instead of failing.
+# Runs the fast ("not slow") test suite, the deterministic chaos lane
+# (fault-injection tests under a fixed seed, REPRO_CHAOS_SEED), the
+# gated Fig. 5 benchmark records, and checks them against the stored
+# baseline with benchmarks/check_regression.py --check-health (fails on
+# >20% slowdown of a gated bench or a CRIT physics-health verdict; an
+# unrecovered rank death exits 2).  Bootstraps the baseline on first run
+# instead of failing.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "$REPO_ROOT"
 
 PYTHON="${PYTHON:-python}"
+export REPRO_CHAOS_SEED="${REPRO_CHAOS_SEED:-2012}"
 
-echo "== 1/3 smoke tests (pytest -m 'not slow') =="
+echo "== 1/4 smoke tests (pytest -m 'not slow') =="
 PYTHONPATH=src "$PYTHON" -m pytest tests -q -m "not slow"
 
-echo "== 2/3 fig5 kernel benchmarks =="
+echo "== 2/4 chaos lane (pytest -m chaos, seed $REPRO_CHAOS_SEED) =="
+PYTHONPATH=src "$PYTHON" -m pytest tests -q -m chaos
+
+echo "== 3/4 fig5 kernel benchmarks =="
 (cd benchmarks && PYTHONPATH=../src "$PYTHON" -m pytest bench_fig5_kernel_threading.py -q)
 
-echo "== 3/3 regression + health gate =="
+echo "== 4/4 regression + health gate =="
 if [ ! -d benchmarks/records/baseline ] || \
    ! ls benchmarks/records/baseline/BENCH_*.json >/dev/null 2>&1; then
     echo "no baseline found -- bootstrapping from this run"
@@ -30,3 +36,4 @@ fi
 "$PYTHON" benchmarks/check_regression.py --check-health
 
 echo "ci_check: all gates passed"
+

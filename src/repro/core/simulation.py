@@ -36,6 +36,7 @@ from repro.cosmology.initial_conditions import make_initial_conditions
 from repro.grid.poisson import SpectralPoissonSolver
 from repro.parallel.decomposition import DomainDecomposition
 from repro.parallel.overload import OverloadExchange
+from repro.resilience.faults import get_fault_plan
 from repro.shortrange.grid_force import (
     default_grid_force_fit,
     pair_force_normalization,
@@ -69,6 +70,16 @@ class HACCSimulation:
     overload_depth:
         Overload shell depth in Mpc/h; defaults to the short-range cutoff
         plus one grid cell of drift margin.
+    retry_policy:
+        Optional :class:`repro.resilience.retry.RetryPolicy`; when given
+        (and the run is decomposed), the overload exchange communicates
+        over a :class:`~repro.resilience.retry.ResilientComm` that
+        absorbs injected transient failures with bounded backoff.
+    recover_on_rank_death:
+        When an injected rank death hits a decomposed run, reconstruct
+        the lost domain from the neighbors' overload replicas (default).
+        Disabled, the loss is recorded as a CRIT ``rank_died`` health
+        event and the domain's short-range contribution is dropped.
 
     Examples
     --------
@@ -87,6 +98,8 @@ class HACCSimulation:
         particles: Particles | None = None,
         decomposition_dims: tuple[int, int, int] | None = None,
         overload_depth: float | None = None,
+        retry_policy=None,
+        recover_on_rank_death: bool = True,
     ) -> None:
         self.config = config
         self.cosmology = config.cosmology
@@ -147,6 +160,9 @@ class HACCSimulation:
                 self.short_solver = DirectShortRange(self.kernel)
 
         self.exchange: OverloadExchange | None = None
+        self.recover_on_rank_death = bool(recover_on_rank_death)
+        self.recovery_reports: list = []
+        self._fault_events: list = []
         if decomposition_dims is not None:
             decomp = DomainDecomposition(config.box_size, decomposition_dims)
             depth = (
@@ -154,7 +170,14 @@ class HACCSimulation:
                 if overload_depth is not None
                 else config.rcut() + config.spacing()
             )
-            self.exchange = OverloadExchange(decomp, depth)
+            comm = None
+            if retry_policy is not None:
+                from repro.resilience.retry import ResilientComm
+
+                comm = ResilientComm(
+                    decomp.n_ranks, policy=retry_policy
+                )
+            self.exchange = OverloadExchange(decomp, depth, comm=comm)
 
         self.stepper = SubcycledStepper(
             cosmology=self.cosmology,
@@ -186,6 +209,7 @@ class HACCSimulation:
 
     def _short_range(self, positions: np.ndarray) -> np.ndarray:
         t0 = time.perf_counter()
+        get_fault_plan().sleep("shortrange")
         with get_registry().span("shortrange"):
             scale = self.prefactor * self.pair_norm
             if self.exchange is None:
@@ -213,6 +237,9 @@ class HACCSimulation:
             self.particles.masses,
             self.particles.ids,
         )
+        plan = get_fault_plan()
+        if plan.enabled:
+            domains = self._handle_rank_death(domains, plan)
         tel = get_telemetry()
         acc = np.zeros_like(positions)
         for dom in domains:
@@ -243,9 +270,87 @@ class HACCSimulation:
             acc[ids[:n_act]] = local
         return acc
 
+    def _handle_rank_death(self, domains, plan):
+        """Apply any scheduled rank death to this force evaluation.
+
+        With recovery enabled (the default) the dead domains are rebuilt
+        from the survivors' overload replicas
+        (:func:`repro.resilience.recovery.recover_ranks`) and a WARN
+        ``rank_recovered`` health event is logged per rank; otherwise the
+        domains are simply dropped — their particles get no short-range
+        kick this evaluation — and the loss is a CRIT ``rank_died``
+        event that forces the run verdict to CRIT.
+        """
+        dead = plan.ranks_to_kill()
+        dead = frozenset(r for r in dead if r < len(domains))
+        if not dead:
+            return domains
+        step = self._step_index
+        if not self.recover_on_rank_death:
+            for r in sorted(dead):
+                self._emit_fault_event(
+                    "CRIT",
+                    "rank_died",
+                    f"rank {r} died at step {step} and was not recovered",
+                )
+            logger.critical(
+                "faults: rank(s) %s died at step %d (recovery disabled)",
+                sorted(dead), step,
+            )
+            return [d for d in domains if d.rank not in dead]
+        from repro.resilience.recovery import recover_ranks
+
+        domains, report = recover_ranks(self.exchange, domains, dead)
+        self.recovery_reports.append(report)
+        plan.note_recovery("rank_death", len(dead))
+        for r in sorted(dead):
+            self._emit_fault_event(
+                "WARN",
+                "rank_recovered",
+                f"rank {r} died at step {step}; rebuilt "
+                f"{report.recovered_by_rank.get(r, 0)} of its particles "
+                f"from overload replicas "
+                f"({report.n_lost} lost beyond the overload depth)",
+                value=float(report.recovered_by_rank.get(r, 0)),
+            )
+        logger.warning(
+            "faults: recovered rank(s) %s at step %d "
+            "(%d particles rebuilt, %d lost, coverage %.3f)",
+            sorted(dead), step, report.n_recovered, report.n_lost,
+            report.coverage(),
+        )
+        return domains
+
     # ------------------------------------------------------------------
     # telemetry / health
     # ------------------------------------------------------------------
+    def _emit_fault_event(
+        self, severity: str, check: str, message: str, value: float = 0.0
+    ):
+        """Record a machine-fault event for health + telemetry.
+
+        Routed through the attached health monitor when there is one (so
+        it counts toward the run verdict / exit status); always queued
+        for the step's telemetry ``alerts`` either way.
+        """
+        from repro.instrument.health import HealthEvent
+
+        if self.health is not None:
+            event = self.health.monitor.emit(
+                self._step_index, severity, check, message=message,
+                value=value,
+            )
+        else:
+            event = HealthEvent(
+                step=self._step_index,
+                severity=severity,
+                check=check,
+                value=float(value),
+                threshold=0.0,
+                message=message,
+            )
+        self._fault_events.append(event)
+        return event
     def attach_health(self, thresholds=None, check_fft: bool = True):
         """Enable physics health monitoring (see
         :class:`repro.instrument.SimulationHealth`).
@@ -294,6 +399,11 @@ class HACCSimulation:
             events = self.health.monitor.check(step_index, values)
             self.health.last_events = events
             alerts = tuple(e.to_dict() for e in events)
+        if self._fault_events:
+            alerts = tuple(
+                e.to_dict() for e in self._fault_events
+            ) + alerts
+            self._fault_events.clear()
         if tel.enabled:
             tel.record_step(
                 step_index,
@@ -319,6 +429,9 @@ class HACCSimulation:
         a1 = self._edges[self._step_index + 1]
         reg = get_registry()
         tel = get_telemetry()
+        plan = get_fault_plan()
+        if plan.enabled:
+            plan.begin_step(self._step_index)
         t0 = time.perf_counter()
         with reg.step(self._step_index), reg.span("step"):
             self.stepper.step(self.particles, a0, a1)
@@ -327,6 +440,8 @@ class HACCSimulation:
         self._step_index += 1
         if tel.enabled or self.health is not None:
             self._record_telemetry(tel, wall)
+        elif self._fault_events:
+            self._fault_events.clear()
         logger.debug(
             "step %d/%d done: a = %.5f (z = %.3f)",
             self._step_index, self.config.n_steps, self.a, self.redshift,
@@ -335,8 +450,15 @@ class HACCSimulation:
     def run(
         self,
         callback: Callable[["HACCSimulation"], None] | None = None,
+        checkpointer=None,
     ) -> None:
-        """Run to the final redshift, invoking ``callback`` after each step."""
+        """Run to the final redshift, invoking ``callback`` after each step.
+
+        When a :class:`repro.io.Checkpointer` is given, its schedule is
+        consulted after every step (and the final state is always
+        written), so an interrupted run can be resumed from the latest
+        valid checkpoint.
+        """
         logger.debug(
             "run: %d particles, %d steps x %d subcycles, backend=%s",
             self.particles.n, self.config.n_steps,
@@ -346,6 +468,9 @@ class HACCSimulation:
             self.step()
             if callback is not None:
                 callback(self)
+            if checkpointer is not None:
+                final = self._step_index >= self.config.n_steps
+                checkpointer.maybe_checkpoint(self, force=final)
 
     # ------------------------------------------------------------------
     # diagnostics

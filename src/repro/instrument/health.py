@@ -184,6 +184,44 @@ class HealthMonitor:
         self.events.extend(new)
         return new
 
+    def emit(
+        self,
+        step: int,
+        severity: str,
+        check: str,
+        message: str = "",
+        value: float = 0.0,
+        threshold: float = 0.0,
+    ) -> HealthEvent:
+        """Record a discrete event that is not a threshold crossing.
+
+        The resilience layer uses this for machine-fault events —
+        ``rank_died`` (CRIT, a domain was lost and not reconstructed),
+        ``rank_recovered`` (WARN, rebuilt from overload replicas),
+        ``comm_retry`` / ``comm_gave_up`` — so machine faults land in
+        the same event log, verdict, and exit status as the physics
+        invariants.
+        """
+        if severity not in SEVERITY_ORDER:
+            raise ValueError(
+                f"severity must be one of {SEVERITY_ORDER}: {severity!r}"
+            )
+        event = HealthEvent(
+            step=int(step),
+            severity=severity,
+            check=check,
+            value=float(value),
+            threshold=float(threshold),
+            message=message or f"{check} at step {step}",
+        )
+        if severity != "OK":
+            self.events.append(event)
+            log = (
+                logger.critical if severity == "CRIT" else logger.warning
+            )
+            log("health: %s", event.message)
+        return event
+
     # ------------------------------------------------------------------
     def verdict(self) -> str:
         """Worst severity seen over the whole run."""

@@ -6,7 +6,16 @@ from repro.io.snapshots import (
     save_power_history,
     save_snapshot,
 )
-from repro.io.checkpoint import load_checkpoint, save_checkpoint
+from repro.io.checkpoint import (
+    CheckpointError,
+    Checkpointer,
+    CheckpointSchedule,
+    crc32c,
+    find_latest_valid,
+    load_checkpoint,
+    save_checkpoint,
+    verify_checkpoint,
+)
 
 __all__ = [
     "save_snapshot",
@@ -15,4 +24,10 @@ __all__ = [
     "load_power_history",
     "save_checkpoint",
     "load_checkpoint",
+    "verify_checkpoint",
+    "find_latest_valid",
+    "crc32c",
+    "CheckpointError",
+    "CheckpointSchedule",
+    "Checkpointer",
 ]

@@ -1,0 +1,347 @@
+"""Deterministic fault injection: the chaos side of the resilience layer.
+
+A 14-hour run on 96 BG/Q racks *will* see transient network errors, dying
+nodes, and torn checkpoint writes; a code that cannot rehearse those
+failures cannot claim to survive them.  This module provides a
+process-global :class:`FaultPlan` (mirroring the instrument registry /
+telemetry singleton pattern) holding *seeded, deterministic* fault
+schedules which the production hot paths consult through cheap hooks:
+
+* **transient comm failures** — :meth:`FaultPlan.comm_fault` is called at
+  the top of every :class:`repro.parallel.comm.SimulatedComm` collective
+  and raises :class:`TransientCommError` with a configured probability
+  (optionally capped, optionally restricted to tags), *before* any
+  traffic is recorded — a failed attempt moves no bytes.  The
+  :class:`repro.resilience.retry.ResilientComm` wrapper turns these into
+  bounded retries;
+* **rank death** — :meth:`FaultPlan.ranks_to_kill` reports the ranks
+  scheduled to die at the current simulation step (one-shot); the driver
+  drops the corresponding overloaded domain and, unless recovery is
+  disabled, reconstructs it from neighbor replicas
+  (:mod:`repro.resilience.recovery`);
+* **checkpoint corruption** — :meth:`FaultPlan.checkpoint_fault` hands
+  the checkpoint writer a one-shot truncation/bit-flip instruction for
+  the N-th write, exercising the checksum + rotation fallback path;
+* **slow-downs** — :meth:`FaultPlan.sleep` stalls a named section
+  (``"fft"``, ``"shortrange"``), the straggler-node failure mode the
+  telemetry imbalance gauges are meant to expose.
+
+The default plan is a :class:`NullFaultPlan` whose ``enabled`` is False:
+every hook site is a single attribute test, so production runs pay
+nothing.  All randomness comes from one ``random.Random(seed)`` owned by
+the plan — the same plan replayed over the same run injects the same
+faults, which is what makes chaos tests assertable.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import random
+import time
+from typing import Iterable
+
+from repro.instrument.registry import get_registry
+
+__all__ = [
+    "TransientCommError",
+    "NullFaultPlan",
+    "FaultPlan",
+    "get_fault_plan",
+    "set_fault_plan",
+    "enable_faults",
+    "disable_faults",
+    "use_faults",
+]
+
+#: recognized checkpoint corruption modes
+CHECKPOINT_FAULT_MODES = ("truncate", "bitflip")
+
+
+class TransientCommError(RuntimeError):
+    """An injected send/recv failure; retryable by design."""
+
+    def __init__(self, tag: str, attempt_info: str = "") -> None:
+        self.tag = tag
+        super().__init__(
+            f"injected transient comm failure on {tag!r}" + attempt_info
+        )
+
+
+class NullFaultPlan:
+    """The always-healthy default: no faults, no state, no overhead."""
+
+    enabled = False
+
+    def begin_step(self, index: int) -> None:  # pragma: no cover - trivial
+        pass
+
+    def comm_fault(self, tag: str) -> None:  # pragma: no cover - trivial
+        pass
+
+    def ranks_to_kill(self) -> frozenset[int]:
+        return frozenset()
+
+    def checkpoint_fault(self):
+        return None
+
+    def sleep(self, section: str) -> None:  # pragma: no cover - trivial
+        pass
+
+    def note_recovery(self, kind: str, n: int = 1) -> None:
+        pass
+
+    def summary(self) -> dict:
+        return {"enabled": False, "injected": {}, "recovered": {}}
+
+
+class FaultPlan:
+    """A deterministic, seeded schedule of injectable failures.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the plan's private RNG; the only source of randomness
+        for probabilistic faults (the comm failure draw and the default
+        bit-flip position).
+
+    Schedules are added with the chainable ``with_*`` methods::
+
+        plan = (FaultPlan(seed=7)
+                .with_comm_failures(0.2, max_failures=3)
+                .with_rank_death(step=4, rank=1)
+                .with_checkpoint_corruption(write_index=1, mode="truncate"))
+        set_fault_plan(plan)
+
+    Injection counts are tracked in :attr:`injected` (by kind) and
+    recoveries reported back by the resilient layers in
+    :attr:`recovered`; :meth:`summary` folds both into the
+    ``faults_injected`` / ``faults_recovered`` numbers the bench records
+    carry.
+    """
+
+    enabled = True
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._rng = random.Random(self.seed)
+        self._comm_specs: list[dict] = []
+        self._deaths: dict[int, set[int]] = {}
+        self._ckpt_faults: dict[int, dict] = {}
+        self._slowdowns: dict[str, float] = {}
+        self._step = -1
+        self._ckpt_writes = 0
+        self.injected: dict[str, int] = {}
+        self.recovered: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # schedule builders (chainable)
+    # ------------------------------------------------------------------
+    def with_comm_failures(
+        self,
+        rate: float,
+        tags: str | Iterable[str] | None = None,
+        max_failures: int | None = None,
+    ) -> "FaultPlan":
+        """Fail matching collectives with probability ``rate`` per call.
+
+        ``tags`` is an fnmatch pattern (or list of patterns) against the
+        collective's tag (``"overload.*"``, ``"fft.transpose.zy"``);
+        ``None`` matches everything.  ``max_failures`` caps the total
+        injections of this spec so a retried operation eventually
+        succeeds even at ``rate=1.0``.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"failure rate must be in [0, 1]: {rate}")
+        if isinstance(tags, str):
+            tags = (tags,)
+        self._comm_specs.append(
+            {
+                "rate": float(rate),
+                "tags": tuple(tags) if tags is not None else None,
+                "remaining": (
+                    int(max_failures) if max_failures is not None else None
+                ),
+            }
+        )
+        return self
+
+    def with_rank_death(self, step: int, rank: int) -> "FaultPlan":
+        """Kill ``rank`` at simulation step ``step`` (one-shot)."""
+        if step < 0 or rank < 0:
+            raise ValueError(
+                f"step and rank must be >= 0: step={step}, rank={rank}"
+            )
+        self._deaths.setdefault(int(step), set()).add(int(rank))
+        return self
+
+    def with_checkpoint_corruption(
+        self,
+        write_index: int = 0,
+        mode: str = "truncate",
+        offset: int | None = None,
+    ) -> "FaultPlan":
+        """Corrupt the ``write_index``-th checkpoint written (0-based).
+
+        ``mode`` is ``"truncate"`` (drop the file's tail at ``offset``
+        bytes, default half the file) or ``"bitflip"`` (XOR one bit at
+        ``offset``, default drawn from the plan RNG).
+        """
+        if mode not in CHECKPOINT_FAULT_MODES:
+            raise ValueError(
+                f"mode must be one of {CHECKPOINT_FAULT_MODES}: {mode!r}"
+            )
+        if write_index < 0:
+            raise ValueError(f"write_index must be >= 0: {write_index}")
+        self._ckpt_faults[int(write_index)] = {
+            "mode": mode,
+            "offset": None if offset is None else int(offset),
+        }
+        return self
+
+    def with_slowdown(self, section: str, seconds: float) -> "FaultPlan":
+        """Stall ``section`` (``"fft"``, ``"shortrange"``) per visit."""
+        if seconds < 0:
+            raise ValueError(f"slowdown must be >= 0 s: {seconds}")
+        self._slowdowns[str(section)] = float(seconds)
+        return self
+
+    # ------------------------------------------------------------------
+    # hooks (called from the production paths)
+    # ------------------------------------------------------------------
+    def begin_step(self, index: int) -> None:
+        """Driver hook: the simulation is entering step ``index``."""
+        self._step = int(index)
+
+    def comm_fault(self, tag: str) -> None:
+        """Maybe raise a :class:`TransientCommError` for this collective."""
+        for spec in self._comm_specs:
+            if spec["remaining"] is not None and spec["remaining"] <= 0:
+                continue
+            tags = spec["tags"]
+            if tags is not None and not any(
+                fnmatch.fnmatchcase(tag, pat) for pat in tags
+            ):
+                continue
+            if self._rng.random() < spec["rate"]:
+                if spec["remaining"] is not None:
+                    spec["remaining"] -= 1
+                self._note_injection("comm")
+                raise TransientCommError(tag)
+
+    def ranks_to_kill(self) -> frozenset[int]:
+        """Ranks scheduled to die at the current step; one-shot.
+
+        The first caller at a given step receives the rank set and the
+        schedule entry is consumed — death is an instantaneous event,
+        and after recovery (or the loss being absorbed) the system is
+        healthy again.
+        """
+        dead = self._deaths.pop(self._step, None)
+        if not dead:
+            return frozenset()
+        self._note_injection("rank_death", len(dead))
+        return frozenset(dead)
+
+    def checkpoint_fault(self) -> dict | None:
+        """One-shot corruption instruction for the current write, if any.
+
+        Every call advances the plan's write counter; the checkpoint
+        writer calls this exactly once per file written.
+        """
+        idx = self._ckpt_writes
+        self._ckpt_writes += 1
+        spec = self._ckpt_faults.pop(idx, None)
+        if spec is None:
+            return None
+        self._note_injection("checkpoint")
+        return dict(spec)
+
+    def sleep(self, section: str) -> None:
+        """Stall a named section if a slowdown is scheduled for it."""
+        seconds = self._slowdowns.get(section, 0.0)
+        if seconds > 0.0:
+            self._note_injection("slowdown")
+            time.sleep(seconds)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def _note_injection(self, kind: str, n: int = 1) -> None:
+        self.injected[kind] = self.injected.get(kind, 0) + n
+        reg = get_registry()
+        if reg.enabled:
+            reg.count(f"faults.{kind}", n)
+
+    def note_recovery(self, kind: str, n: int = 1) -> None:
+        """Resilient layers report a survived fault (``kind`` as above)."""
+        self.recovered[kind] = self.recovered.get(kind, 0) + n
+        reg = get_registry()
+        if reg.enabled:
+            reg.count(f"faults.recovered.{kind}", n)
+
+    def rng_uniform(self, n: int) -> int:
+        """A deterministic draw in ``[0, n)`` from the plan's RNG."""
+        return self._rng.randrange(max(1, int(n)))
+
+    def faults_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def faults_recovered(self) -> int:
+        return sum(self.recovered.values())
+
+    def summary(self) -> dict:
+        """Plain-dict snapshot for bench records and end-of-run logs."""
+        return {
+            "enabled": True,
+            "seed": self.seed,
+            "injected": dict(self.injected),
+            "recovered": dict(self.recovered),
+            "faults_injected": self.faults_injected(),
+            "faults_recovered": self.faults_recovered(),
+        }
+
+
+# ----------------------------------------------------------------------
+# process-global active plan (mirrors the registry/telemetry pattern)
+# ----------------------------------------------------------------------
+_active: FaultPlan | NullFaultPlan = NullFaultPlan()
+
+
+def get_fault_plan() -> FaultPlan | NullFaultPlan:
+    """The currently active fault plan (the shared no-op by default)."""
+    return _active
+
+
+def set_fault_plan(
+    plan: FaultPlan | NullFaultPlan,
+) -> FaultPlan | NullFaultPlan:
+    """Install ``plan`` as the active one; returns it."""
+    global _active
+    _active = plan
+    return _active
+
+
+def enable_faults(seed: int = 0) -> FaultPlan:
+    """Install and return a fresh empty :class:`FaultPlan`."""
+    return set_fault_plan(FaultPlan(seed=seed))
+
+
+def disable_faults() -> NullFaultPlan:
+    """Restore the no-op plan; returns it."""
+    return set_fault_plan(NullFaultPlan())
+
+
+class use_faults:
+    """Context manager: temporarily install ``plan`` (tests)."""
+
+    def __init__(self, plan: FaultPlan | NullFaultPlan) -> None:
+        self.plan = plan
+        self._previous: FaultPlan | NullFaultPlan | None = None
+
+    def __enter__(self) -> FaultPlan | NullFaultPlan:
+        self._previous = get_fault_plan()
+        return set_fault_plan(self.plan)
+
+    def __exit__(self, *exc) -> None:
+        assert self._previous is not None
+        set_fault_plan(self._previous)

@@ -1,0 +1,233 @@
+"""Resilient communication: deadline-bounded retries with backoff.
+
+On a torus the transient failure modes (link CRC errors, ECC-corrected
+memory stalls, software timeouts) are routinely absorbed by retrying the
+operation; only persistent failures should surface.  This module wraps
+:class:`repro.parallel.comm.SimulatedComm` so every collective —
+point-to-point ``exchange`` batches, ``alltoallv`` transposes, the tree
+collectives — is retried under an exponential-backoff
+:class:`RetryPolicy` when the fault-injection layer raises a
+:class:`~repro.resilience.faults.TransientCommError`:
+
+* each retry increments the ``comm.retries`` instrument counter and
+  emits a WARN :class:`~repro.instrument.HealthEvent` into an attached
+  health monitor;
+* exhausting the attempt budget or the wall-clock deadline increments
+  ``comm.gave_up``, emits a CRIT event, and raises
+  :class:`CommGaveUpError` — the unrecoverable outcome a run's health
+  verdict must reflect;
+* a retry that eventually succeeds reports ``note_recovery("comm")`` to
+  the active fault plan, so chaos runs can assert injected == recovered.
+
+Failed attempts are charged nothing: the fault hook fires before any
+traffic is recorded, so :class:`~repro.parallel.comm.CommStats` sees
+exactly one successful delivery regardless of how many attempts it took.
+Backoff delays are deterministic (the jitter comes from a seeded RNG)
+and the sleep/clock functions are injectable, so tests assert the exact
+delay sequence without waiting on real time.
+"""
+
+from __future__ import annotations
+
+import logging
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.instrument.registry import get_registry
+from repro.parallel.comm import CommStats, SimulatedComm
+from repro.resilience.faults import TransientCommError, get_fault_plan
+
+__all__ = ["CommGaveUpError", "RetryPolicy", "ResilientComm"]
+
+logger = logging.getLogger(__name__)
+
+
+class CommGaveUpError(RuntimeError):
+    """A collective failed through every allowed retry."""
+
+    def __init__(self, tag: str, attempts: int, elapsed: float) -> None:
+        self.tag = tag
+        self.attempts = attempts
+        self.elapsed = elapsed
+        super().__init__(
+            f"comm operation {tag!r} gave up after {attempts} attempts "
+            f"({elapsed:.3f}s)"
+        )
+
+
+@dataclass
+class RetryPolicy:
+    """Exponential backoff with jitter and a wall-clock deadline.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries per operation (first attempt included).
+    base_delay:
+        Sleep before the first retry, seconds; doubles (``multiplier``)
+        per retry up to ``max_delay``.
+    multiplier, max_delay:
+        Backoff growth factor and per-retry cap.
+    deadline:
+        Optional wall-clock budget per operation, seconds; once
+        exceeded, the operation gives up even with attempts remaining.
+    jitter:
+        Fractional jitter: each delay is scaled by ``1 + U(0, jitter)``
+        drawn from the policy's seeded RNG (deterministic sequence).
+    seed:
+        Jitter RNG seed.
+    sleep, clock:
+        Injectable for tests (default ``time.sleep`` /
+        ``time.monotonic``).
+    monitor:
+        Optional :class:`repro.instrument.HealthMonitor`; retries emit
+        WARN ``comm_retry`` events, give-ups emit CRIT ``comm_gave_up``.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.005
+    multiplier: float = 2.0
+    max_delay: float = 0.25
+    deadline: float | None = None
+    jitter: float = 0.5
+    seed: int = 0
+    sleep: Callable[[float], None] = time.sleep
+    clock: Callable[[], float] = time.monotonic
+    monitor: object | None = None
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1: {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be >= 0: {self.jitter}")
+        self._rng = random.Random(self.seed)
+
+    def delay(self, retry_index: int) -> float:
+        """The jittered backoff before the ``retry_index``-th retry."""
+        raw = min(
+            self.base_delay * self.multiplier**retry_index, self.max_delay
+        )
+        if self.jitter:
+            raw *= 1.0 + self._rng.random() * self.jitter
+        return raw
+
+    def _emit(self, severity: str, check: str, message: str) -> None:
+        if self.monitor is not None:
+            self.monitor.emit(-1, severity, check, message=message)
+
+    def run(self, fn: Callable, tag: str):
+        """Call ``fn`` under this policy; the resilient-comm hot loop."""
+        start = self.clock()
+        reg = get_registry()
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                result = fn()
+            except TransientCommError as exc:
+                elapsed = self.clock() - start
+                out_of_budget = attempt >= self.max_attempts or (
+                    self.deadline is not None and elapsed >= self.deadline
+                )
+                if out_of_budget:
+                    if reg.enabled:
+                        reg.count("comm.gave_up", 1)
+                    self._emit(
+                        "CRIT",
+                        "comm_gave_up",
+                        f"{tag}: gave up after {attempt} attempts "
+                        f"({elapsed:.3f}s)",
+                    )
+                    logger.critical(
+                        "comm: %s gave up after %d attempts (%.3fs)",
+                        tag, attempt, elapsed,
+                    )
+                    raise CommGaveUpError(tag, attempt, elapsed) from exc
+                if reg.enabled:
+                    reg.count("comm.retries", 1)
+                self._emit(
+                    "WARN",
+                    "comm_retry",
+                    f"{tag}: transient failure, retry {attempt}",
+                )
+                logger.warning(
+                    "comm: transient failure on %s (attempt %d/%d), "
+                    "backing off", tag, attempt, self.max_attempts,
+                )
+                self.sleep(self.delay(attempt - 1))
+            else:
+                if attempt > 1:
+                    plan = get_fault_plan()
+                    if plan.enabled:
+                        plan.note_recovery("comm")
+                return result
+        raise AssertionError("unreachable")  # pragma: no cover
+
+
+class ResilientComm(SimulatedComm):
+    """A :class:`SimulatedComm` whose collectives retry under a policy.
+
+    Drop-in replacement: construct with the same ``(size, stats,
+    members)`` plus a :class:`RetryPolicy`; sub-communicators created by
+    :meth:`split` share the parent's policy (and therefore its jitter
+    RNG and health monitor), mirroring how the base class shares
+    :class:`~repro.parallel.comm.CommStats`.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        stats: CommStats | None = None,
+        members: Sequence[int] | None = None,
+        policy: RetryPolicy | None = None,
+    ) -> None:
+        super().__init__(size, stats=stats, members=members)
+        self.policy = policy if policy is not None else RetryPolicy()
+
+    def _child(
+        self, size: int, stats: CommStats, members: tuple[int, ...]
+    ) -> "ResilientComm":
+        return ResilientComm(
+            size, stats=stats, members=members, policy=self.policy
+        )
+
+    # collectives -------------------------------------------------------
+    def alltoallv(
+        self, sendbufs: Sequence[Sequence], tag: str = "alltoallv"
+    ) -> list[list]:
+        return self.policy.run(
+            lambda: super(ResilientComm, self).alltoallv(sendbufs, tag=tag),
+            tag,
+        )
+
+    def exchange(
+        self, sends: Mapping[tuple[int, int], np.ndarray], tag: str = "exchange"
+    ) -> dict[tuple[int, int], np.ndarray]:
+        return self.policy.run(
+            lambda: super(ResilientComm, self).exchange(sends, tag=tag), tag
+        )
+
+    def allreduce(
+        self, values: Sequence, op: Callable = sum, tag: str = "allreduce"
+    ):
+        return self.policy.run(
+            lambda: super(ResilientComm, self).allreduce(values, op=op, tag=tag),
+            tag,
+        )
+
+    def allgather(self, values: Sequence, tag: str = "allgather") -> list:
+        return self.policy.run(
+            lambda: super(ResilientComm, self).allgather(values, tag=tag), tag
+        )
+
+    def barrier(self, tag: str = "barrier") -> None:
+        return self.policy.run(
+            lambda: super(ResilientComm, self).barrier(tag=tag), tag
+        )

@@ -43,3 +43,67 @@ class TestMain:
         )
         assert result.returncode == 0
         assert "reproduction" in result.stdout
+
+
+class TestRunCommand:
+    """The checkpointed fault-tolerant ``run`` command."""
+
+    def _base(self, outdir):
+        return ["run", "--steps", "2", "--n-per-dim", "8",
+                "--outdir", str(outdir)]
+
+    def test_writes_rotation_and_resumes(self, tmp_path):
+        out = tmp_path / "ck"
+        assert main(self._base(out)) == 0
+        names = sorted(p.name for p in out.iterdir())
+        assert names and all(n.startswith("ckpt_") for n in names)
+        # resuming a finished run is a no-op and exits cleanly
+        assert main(["run", "--resume", str(out)]) == 0
+
+    def test_resume_from_empty_dir_starts_fresh(self, tmp_path):
+        out = tmp_path / "empty"
+        out.mkdir()
+        assert main(["run", "--steps", "1", "--n-per-dim", "8",
+                     "--resume", str(out)]) == 0
+        assert any(p.name.startswith("ckpt_") for p in out.iterdir())
+
+    def test_bad_decomposition_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(self._base(tmp_path) + ["--decomposition", "2,2"])
+
+    def test_bad_rank_death_spec_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(self._base(tmp_path) + ["--inject-rank-death", "nope"])
+
+    @pytest.mark.chaos
+    def test_recovered_rank_death_exits_zero(self, tmp_path):
+        out = tmp_path / "chaos"
+        argv = self._base(out) + [
+            "--decomposition", "2,1,1", "--overload-depth", "14",
+            "--inject-rank-death", "1:1", "--fault-seed", "2012",
+        ]
+        assert main(argv) == 0
+        from repro.resilience.faults import get_fault_plan
+
+        # the command restores the null plan on the way out
+        assert not get_fault_plan().enabled
+
+    @pytest.mark.chaos
+    def test_unrecovered_rank_death_exits_two(self, tmp_path):
+        out = tmp_path / "chaos2"
+        argv = self._base(out) + [
+            "--decomposition", "2,1,1", "--overload-depth", "14",
+            "--inject-rank-death", "1:0", "--no-recovery", "--health",
+            "--fault-seed", "2012",
+        ]
+        assert main(argv) == 2
+
+    @pytest.mark.chaos
+    def test_retry_absorbs_comm_faults(self, tmp_path):
+        out = tmp_path / "chaos3"
+        argv = self._base(out) + [
+            "--decomposition", "2,1,1", "--overload-depth", "14",
+            "--retry", "--inject-comm-failures", "1.0",
+            "--inject-comm-max", "2", "--fault-seed", "2012",
+        ]
+        assert main(argv) == 0

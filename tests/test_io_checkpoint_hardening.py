@@ -1,0 +1,386 @@
+"""Tests for the hardened checkpoint layer (``repro.io.checkpoint``).
+
+Suffix normalization, CRC32C checksums, typed load errors (foreign
+files, future versions), crash-mid-write torn files, rotation fallback,
+scheduling, and atomic publication.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.core.simulation import HACCSimulation
+from repro.io import (
+    CheckpointError,
+    Checkpointer,
+    CheckpointSchedule,
+    crc32c,
+    find_latest_valid,
+    load_checkpoint,
+    save_checkpoint,
+    verify_checkpoint,
+)
+
+
+def tiny_sim(n_steps: int = 2, **overrides) -> HACCSimulation:
+    base = dict(
+        box_size=64.0,
+        n_per_dim=8,
+        z_initial=20.0,
+        z_final=10.0,
+        n_steps=n_steps,
+        backend="pm",
+        seed=5,
+    )
+    base.update(overrides)
+    return HACCSimulation(SimulationConfig(**base))
+
+
+class TestCRC32C:
+    def test_known_vector(self):
+        # the canonical CRC32C check value (RFC 3720 appendix)
+        assert crc32c(b"123456789") == 0xE3069283
+
+    def test_empty(self):
+        assert crc32c(b"") == 0
+
+    def test_array_matches_its_bytes(self):
+        arr = np.arange(12, dtype=np.float64).reshape(3, 4)
+        assert crc32c(arr) == crc32c(arr.tobytes())
+
+    def test_sensitive_to_single_bit(self):
+        data = bytearray(b"hello checkpoint")
+        before = crc32c(bytes(data))
+        data[5] ^= 0x01
+        assert crc32c(bytes(data)) != before
+
+
+class TestSuffixHandling:
+    """Regression tests for the ``with_suffix`` fix: plain names gain
+    ``.npz``, existing ``.npz`` (any case) is normalized not doubled,
+    and dotted science names keep their full stem."""
+
+    def test_plain_name_gains_suffix(self, tmp_path):
+        sim = tiny_sim()
+        path = save_checkpoint(tmp_path / "ckpt", sim)
+        assert path == tmp_path / "ckpt.npz"
+        assert path.exists()
+
+    def test_existing_suffix_not_doubled(self, tmp_path):
+        sim = tiny_sim()
+        path = save_checkpoint(tmp_path / "ckpt.npz", sim)
+        assert path == tmp_path / "ckpt.npz"
+
+    def test_uppercase_suffix_normalized(self, tmp_path):
+        sim = tiny_sim()
+        path = save_checkpoint(tmp_path / "ckpt.NPZ", sim)
+        assert path == tmp_path / "ckpt.npz"
+
+    def test_dotted_stem_survives(self, tmp_path):
+        # with_suffix alone would truncate "z0.5" to "z0.npz"
+        sim = tiny_sim()
+        path = save_checkpoint(tmp_path / "z0.5", sim)
+        assert path == tmp_path / "z0.5.npz"
+        load_checkpoint(path)  # round-trips
+
+    def test_load_roundtrip_preserves_state(self, tmp_path):
+        sim = tiny_sim()
+        sim.step()
+        path = save_checkpoint(tmp_path / "mid", sim)
+        restored = load_checkpoint(path)
+        assert np.array_equal(
+            restored.particles.positions, sim.particles.positions
+        )
+        assert np.array_equal(
+            restored.particles.momenta, sim.particles.momenta
+        )
+        assert restored.a == sim.a
+        assert restored._step_index == sim._step_index
+        assert restored.config == sim.config
+
+
+class TestTypedErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError) as exc:
+            load_checkpoint(tmp_path / "nope.npz")
+        assert exc.value.path == tmp_path / "nope.npz"
+
+    def test_foreign_npz_reports_found_keys(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, alpha=np.arange(3), beta=np.ones(2))
+        with pytest.raises(CheckpointError) as exc:
+            load_checkpoint(path)
+        msg = str(exc.value)
+        assert "metadata" in msg
+        assert "alpha" in msg and "beta" in msg
+
+    def test_not_a_zip_at_all(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a zip file")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_future_format_version_rejected(self, tmp_path):
+        sim = tiny_sim()
+        path = save_checkpoint(tmp_path / "ok", sim)
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files if k != "metadata"}
+            meta = json.loads(str(data["metadata"]))
+        meta["format_version"] = 99
+        np.savez(
+            tmp_path / "future.npz",
+            metadata=json.dumps(meta),
+            **arrays,
+        )
+        with pytest.raises(CheckpointError, match="newer"):
+            load_checkpoint(tmp_path / "future.npz")
+
+    def test_missing_version_rejected(self, tmp_path):
+        sim = tiny_sim()
+        path = save_checkpoint(tmp_path / "ok", sim)
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files if k != "metadata"}
+            meta = json.loads(str(data["metadata"]))
+        del meta["format_version"]
+        np.savez(
+            tmp_path / "nover.npz", metadata=json.dumps(meta), **arrays
+        )
+        with pytest.raises(CheckpointError, match="format_version"):
+            load_checkpoint(tmp_path / "nover.npz")
+
+    def test_checksum_mismatch_detected(self, tmp_path):
+        sim = tiny_sim()
+        path = save_checkpoint(tmp_path / "ok", sim)
+        with np.load(path) as data:
+            arrays = {k: np.array(data[k]) for k in data.files
+                      if k != "metadata"}
+            meta = json.loads(str(data["metadata"]))
+        # corrupt one array *after* the manifest was recorded
+        arrays["momenta"] = arrays["momenta"] + 1e-8
+        np.savez(
+            tmp_path / "rot.npz", metadata=json.dumps(meta), **arrays
+        )
+        with pytest.raises(CheckpointError, match="checksum mismatch"):
+            load_checkpoint(tmp_path / "rot.npz")
+
+    def test_verify_returns_metadata(self, tmp_path):
+        sim = tiny_sim()
+        path = save_checkpoint(tmp_path / "ok", sim)
+        meta = verify_checkpoint(path)
+        assert meta["format_version"] == 2
+        assert set(meta["checksums"]) == {
+            "positions", "momenta", "masses", "ids", "a",
+        }
+
+
+class TestCrashMidWrite:
+    """A crash can tear the file at any byte: every truncation point
+    must surface as CheckpointError, never as garbage physics."""
+
+    @pytest.mark.parametrize("frac", [0.0, 0.1, 0.5, 0.9, 0.999])
+    def test_truncation_always_detected(self, tmp_path, frac):
+        sim = tiny_sim()
+        path = save_checkpoint(tmp_path / "torn", sim)
+        size = path.stat().st_size
+        keep = max(1, int(size * frac))
+        with open(path, "r+b") as fh:
+            fh.truncate(keep)
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_bitflips_detected(self, tmp_path):
+        sim = tiny_sim()
+        path = save_checkpoint(tmp_path / "flip", sim)
+        size = path.stat().st_size
+        raw = bytearray(path.read_bytes())
+        hits = 0
+        for offset in (size // 4, size // 2, (3 * size) // 4):
+            corrupted = bytearray(raw)
+            corrupted[offset] ^= 0x10
+            path.write_bytes(bytes(corrupted))
+            try:
+                load_checkpoint(path)
+            except CheckpointError:
+                hits += 1
+        # zip-member CRCs plus the array manifest catch payload flips
+        assert hits == 3
+
+    def test_no_temp_litter_after_save(self, tmp_path):
+        sim = tiny_sim()
+        save_checkpoint(tmp_path / "clean", sim)
+        names = [p.name for p in tmp_path.iterdir()]
+        assert names == ["clean.npz"]
+
+
+class TestRotationFallback:
+    def _write_rotation(self, tmp_path, n=3):
+        sim = tiny_sim(n_steps=n)
+        ck = Checkpointer(tmp_path, keep_last=n)
+        paths = []
+        for _ in range(n):
+            sim.step()
+            paths.append(ck.maybe_checkpoint(sim))
+        return sim, paths
+
+    def test_latest_valid_is_newest(self, tmp_path):
+        _, paths = self._write_rotation(tmp_path)
+        assert find_latest_valid(tmp_path) == paths[-1]
+
+    @pytest.mark.parametrize("frac", [0.05, 0.5, 0.95])
+    def test_falls_back_past_torn_newest(self, tmp_path, frac):
+        _, paths = self._write_rotation(tmp_path)
+        size = paths[-1].stat().st_size
+        with open(paths[-1], "r+b") as fh:
+            fh.truncate(max(1, int(size * frac)))
+        assert find_latest_valid(tmp_path) == paths[-2]
+
+    def test_falls_back_two_generations(self, tmp_path):
+        _, paths = self._write_rotation(tmp_path)
+        for p in paths[-2:]:
+            with open(p, "r+b") as fh:
+                fh.truncate(10)
+        assert find_latest_valid(tmp_path) == paths[0]
+
+    def test_none_when_all_corrupt(self, tmp_path):
+        _, paths = self._write_rotation(tmp_path)
+        for p in paths:
+            p.write_bytes(b"gone")
+        assert find_latest_valid(tmp_path) is None
+
+    def test_none_for_missing_directory(self, tmp_path):
+        assert find_latest_valid(tmp_path / "absent") is None
+
+    def test_foreign_files_ignored(self, tmp_path):
+        _, paths = self._write_rotation(tmp_path)
+        (tmp_path / "notes.txt").write_text("hi")
+        (tmp_path / "ckpt_zzz.npz").write_bytes(b"not matching")
+        assert find_latest_valid(tmp_path) == paths[-1]
+
+    def test_keep_last_prunes_oldest(self, tmp_path):
+        sim = tiny_sim(n_steps=5)
+        ck = Checkpointer(tmp_path, keep_last=2)
+        for _ in range(5):
+            sim.step()
+            ck.maybe_checkpoint(sim)
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["ckpt_000004.npz", "ckpt_000005.npz"]
+        assert ck.n_written == 5
+
+
+class TestCheckpointSchedule:
+    def test_needs_a_trigger(self):
+        with pytest.raises(ValueError):
+            CheckpointSchedule()
+
+    def test_every_steps(self):
+        s = CheckpointSchedule(every_steps=3)
+        assert [s.due(i) for i in range(1, 8)] == [
+            False, False, True, False, False, True, False,
+        ]
+
+    def test_every_seconds_with_fake_clock(self):
+        t = {"now": 0.0}
+        s = CheckpointSchedule(every_seconds=10.0, clock=lambda: t["now"])
+        t["now"] = 5.0
+        assert not s.due(1)
+        t["now"] = 11.0
+        assert s.due(2)
+        s.wrote()
+        t["now"] = 15.0
+        assert not s.due(3)
+
+    def test_either_trigger_fires(self):
+        t = {"now": 0.0}
+        s = CheckpointSchedule(
+            every_steps=100, every_seconds=1.0, clock=lambda: t["now"]
+        )
+        t["now"] = 2.0
+        assert s.due(1)  # wall clock fired long before step 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CheckpointSchedule(every_steps=0)
+        with pytest.raises(ValueError):
+            CheckpointSchedule(every_seconds=0.0)
+
+
+class TestCheckpointerDriver:
+    def test_run_with_checkpointer_writes_final(self, tmp_path):
+        sim = tiny_sim(n_steps=3)
+        ck = Checkpointer(
+            tmp_path, schedule=CheckpointSchedule(every_steps=2)
+        )
+        sim.run(checkpointer=ck)
+        names = sorted(p.name for p in tmp_path.iterdir())
+        # step 2 by schedule, step 3 forced at end of run
+        assert names == ["ckpt_000002.npz", "ckpt_000003.npz"]
+
+    def test_final_step_not_written_twice(self, tmp_path):
+        sim = tiny_sim(n_steps=2)
+        ck = Checkpointer(
+            tmp_path, schedule=CheckpointSchedule(every_steps=1)
+        )
+        sim.run(checkpointer=ck)
+        assert ck.n_written == 2  # steps 1 and 2, no duplicate final
+
+    def test_resume_is_bitwise_identical(self, tmp_path):
+        ref = tiny_sim(n_steps=4)
+        ref.run()
+
+        sim = tiny_sim(n_steps=4)
+        ck = Checkpointer(tmp_path)
+        sim.step()
+        sim.step()
+        ck.maybe_checkpoint(sim)
+
+        resumed = load_checkpoint(find_latest_valid(tmp_path))
+        resumed.run()
+        assert np.array_equal(
+            resumed.particles.positions, ref.particles.positions
+        )
+        assert np.array_equal(
+            resumed.particles.momenta, ref.particles.momenta
+        )
+        assert resumed.a == ref.a
+
+    def test_keep_last_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            Checkpointer(tmp_path, keep_last=0)
+
+
+@pytest.mark.chaos
+class TestInjectedCheckpointFaults:
+    def test_injected_truncation_forces_fallback(self, tmp_path):
+        from repro.resilience import FaultPlan, use_faults
+
+        plan = FaultPlan(seed=2012).with_checkpoint_corruption(
+            write_index=1, mode="truncate"
+        )
+        sim = tiny_sim(n_steps=2)
+        ck = Checkpointer(tmp_path)
+        with use_faults(plan):
+            sim.step()
+            first = ck.maybe_checkpoint(sim)
+            sim.step()
+            ck.maybe_checkpoint(sim)
+            assert plan.injected["checkpoint"] == 1
+            assert find_latest_valid(tmp_path) == first
+            # falling back across the corrupt file counts as a survived
+            # checkpoint fault
+            assert plan.recovered.get("checkpoint") == 1
+
+    def test_injected_bitflip_detected(self, tmp_path):
+        from repro.resilience import FaultPlan, use_faults
+
+        plan = FaultPlan(seed=2012).with_checkpoint_corruption(
+            write_index=0, mode="bitflip"
+        )
+        sim = tiny_sim()
+        with use_faults(plan):
+            path = save_checkpoint(tmp_path / "flip", sim)
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)

@@ -1,0 +1,777 @@
+"""Tests for the fault-tolerance subsystem (``repro.resilience``).
+
+Covers the fault-injection plan, the retrying communicator, replica-based
+rank recovery, and — under the ``chaos`` marker — the driver-level
+failure scenarios: rank death mid-run (recovered and not), transient
+comm failures absorbed by retries, and the full kill-a-rank /
+corrupt-a-checkpoint / auto-resume story with a power-spectrum closeness
+assertion against a fault-free run.
+
+The chaos lane runs with a fixed seed (``REPRO_CHAOS_SEED``, default
+2012) so every injected failure is replayable.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.core.simulation import HACCSimulation
+from repro.instrument import HealthMonitor
+from repro.instrument.registry import disable as disable_registry
+from repro.instrument.registry import enable as enable_registry
+from repro.parallel.comm import SimulatedComm
+from repro.parallel.decomposition import DomainDecomposition
+from repro.parallel.overload import OverloadExchange
+from repro.resilience import (
+    CommGaveUpError,
+    FaultPlan,
+    NullFaultPlan,
+    ResilientComm,
+    RetryPolicy,
+    TransientCommError,
+    disable_faults,
+    enable_faults,
+    get_fault_plan,
+    harvest_replicas,
+    recover_ranks,
+    set_fault_plan,
+    use_faults,
+)
+
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "2012"))
+
+BOX = 64.0
+DIMS = (2, 1, 1)
+DEPTH = 14.0
+
+
+def tiny_config(n_steps: int = 4, **overrides) -> SimulationConfig:
+    base = dict(
+        box_size=BOX,
+        n_per_dim=8,
+        z_initial=20.0,
+        z_final=5.0,
+        n_steps=n_steps,
+        n_subcycles=2,
+        backend="treepm",
+        seed=11,
+    )
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+# ----------------------------------------------------------------------
+# FaultPlan
+# ----------------------------------------------------------------------
+class TestFaultPlan:
+    def test_null_plan_is_inert(self):
+        plan = NullFaultPlan()
+        assert not plan.enabled
+        plan.comm_fault("anything")  # never raises
+        assert plan.ranks_to_kill() == frozenset()
+        assert plan.checkpoint_fault() is None
+        assert plan.summary()["enabled"] is False
+
+    def test_default_active_plan_is_null(self):
+        assert isinstance(get_fault_plan(), NullFaultPlan)
+
+    def test_enable_disable_roundtrip(self):
+        plan = enable_faults(seed=3)
+        assert get_fault_plan() is plan
+        assert plan.enabled
+        disable_faults()
+        assert isinstance(get_fault_plan(), NullFaultPlan)
+
+    def test_use_faults_restores_previous(self):
+        inner = FaultPlan(seed=1)
+        before = get_fault_plan()
+        with use_faults(inner) as active:
+            assert active is inner
+            assert get_fault_plan() is inner
+        assert get_fault_plan() is before
+
+    def test_comm_failures_are_deterministic(self):
+        def injections(seed):
+            plan = FaultPlan(seed=seed).with_comm_failures(0.5)
+            hits = []
+            for i in range(50):
+                try:
+                    plan.comm_fault("t")
+                except TransientCommError:
+                    hits.append(i)
+            return hits
+
+        assert injections(7) == injections(7)
+        assert injections(7) != injections(8)
+
+    def test_comm_failure_rate_validation(self):
+        with pytest.raises(ValueError, match="rate"):
+            FaultPlan().with_comm_failures(1.5)
+
+    def test_comm_failure_tag_patterns(self):
+        plan = FaultPlan(seed=0).with_comm_failures(1.0, tags="overload.*")
+        plan.comm_fault("fft.transpose.zy")  # no match, no raise
+        with pytest.raises(TransientCommError):
+            plan.comm_fault("overload.distribute")
+
+    def test_comm_failure_cap(self):
+        plan = FaultPlan(seed=0).with_comm_failures(1.0, max_failures=2)
+        for _ in range(2):
+            with pytest.raises(TransientCommError):
+                plan.comm_fault("x")
+        plan.comm_fault("x")  # budget exhausted: healthy again
+        assert plan.injected["comm"] == 2
+
+    def test_rank_death_is_one_shot_per_step(self):
+        plan = FaultPlan().with_rank_death(step=3, rank=1)
+        plan.begin_step(2)
+        assert plan.ranks_to_kill() == frozenset()
+        plan.begin_step(3)
+        assert plan.ranks_to_kill() == frozenset({1})
+        assert plan.ranks_to_kill() == frozenset()  # consumed
+        assert plan.injected["rank_death"] == 1
+
+    def test_checkpoint_fault_targets_nth_write(self):
+        plan = FaultPlan().with_checkpoint_corruption(
+            write_index=1, mode="bitflip", offset=40
+        )
+        assert plan.checkpoint_fault() is None          # write 0
+        spec = plan.checkpoint_fault()                   # write 1
+        assert spec == {"mode": "bitflip", "offset": 40}
+        assert plan.checkpoint_fault() is None           # write 2
+
+    def test_checkpoint_fault_mode_validation(self):
+        with pytest.raises(ValueError, match="mode"):
+            FaultPlan().with_checkpoint_corruption(mode="melt")
+
+    def test_summary_folds_injected_and_recovered(self):
+        plan = FaultPlan(seed=9).with_comm_failures(1.0, max_failures=1)
+        with pytest.raises(TransientCommError):
+            plan.comm_fault("x")
+        plan.note_recovery("comm")
+        s = plan.summary()
+        assert s["faults_injected"] == 1
+        assert s["faults_recovered"] == 1
+        assert s["injected"] == {"comm": 1}
+        assert s["recovered"] == {"comm": 1}
+
+    def test_injections_counted_in_registry(self):
+        reg = enable_registry()
+        try:
+            plan = FaultPlan(seed=0).with_comm_failures(1.0, max_failures=1)
+            with pytest.raises(TransientCommError):
+                plan.comm_fault("x")
+            plan.note_recovery("comm")
+            assert reg.counter("faults.comm") == 1
+            assert reg.counter("faults.recovered.comm") == 1
+        finally:
+            disable_registry()
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy / ResilientComm
+# ----------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_delay_sequence_is_deterministic(self):
+        a = RetryPolicy(base_delay=0.01, jitter=0.5, seed=4)
+        b = RetryPolicy(base_delay=0.01, jitter=0.5, seed=4)
+        assert [a.delay(i) for i in range(4)] == [
+            b.delay(i) for i in range(4)
+        ]
+
+    def test_delay_growth_and_cap(self):
+        p = RetryPolicy(
+            base_delay=0.01, multiplier=2.0, max_delay=0.03, jitter=0.0
+        )
+        assert p.delay(0) == pytest.approx(0.01)
+        assert p.delay(1) == pytest.approx(0.02)
+        assert p.delay(2) == pytest.approx(0.03)  # capped
+        assert p.delay(5) == pytest.approx(0.03)
+
+    def test_succeeds_after_transient_failures(self):
+        sleeps: list[float] = []
+        policy = RetryPolicy(
+            max_attempts=4, jitter=0.0, sleep=sleeps.append
+        )
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise TransientCommError("t")
+            return "ok"
+
+        plan = enable_faults()
+        try:
+            assert policy.run(flaky, "t") == "ok"
+            assert calls["n"] == 3
+            assert len(sleeps) == 2
+            assert plan.recovered.get("comm") == 1
+        finally:
+            disable_faults()
+
+    def test_gives_up_after_max_attempts(self):
+        policy = RetryPolicy(max_attempts=2, jitter=0.0, sleep=lambda s: None)
+
+        def always():
+            raise TransientCommError("t")
+
+        with pytest.raises(CommGaveUpError) as exc:
+            policy.run(always, "doomed")
+        assert exc.value.attempts == 2
+        assert exc.value.tag == "doomed"
+
+    def test_deadline_bounds_retries(self):
+        t = {"now": 0.0}
+
+        def clock():
+            t["now"] += 10.0
+            return t["now"]
+
+        policy = RetryPolicy(
+            max_attempts=100, deadline=5.0, jitter=0.0,
+            sleep=lambda s: None, clock=clock,
+        )
+        with pytest.raises(CommGaveUpError) as exc:
+            policy.run(lambda: (_ for _ in ()).throw(
+                TransientCommError("t")), "t")
+        assert exc.value.attempts == 1  # first check already past deadline
+
+    def test_events_reach_the_health_monitor(self):
+        monitor = HealthMonitor()
+        policy = RetryPolicy(
+            max_attempts=2, jitter=0.0, sleep=lambda s: None,
+            monitor=monitor,
+        )
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise TransientCommError("t")
+            return 1
+
+        policy.run(flaky, "t")
+        assert [e.check for e in monitor.events] == ["comm_retry"]
+        with pytest.raises(CommGaveUpError):
+            policy.run(lambda: (_ for _ in ()).throw(
+                TransientCommError("t")), "t")
+        assert monitor.events[-1].check == "comm_gave_up"
+        assert monitor.events[-1].severity == "CRIT"
+        assert monitor.verdict() == "CRIT"
+
+    def test_retry_counters(self):
+        reg = enable_registry()
+        try:
+            policy = RetryPolicy(
+                max_attempts=2, jitter=0.0, sleep=lambda s: None
+            )
+            calls = {"n": 0}
+
+            def flaky():
+                calls["n"] += 1
+                if calls["n"] == 1:
+                    raise TransientCommError("t")
+                return 1
+
+            policy.run(flaky, "t")
+            assert reg.counter("comm.retries") == 1
+            with pytest.raises(CommGaveUpError):
+                policy.run(lambda: (_ for _ in ()).throw(
+                    TransientCommError("t")), "t")
+            assert reg.counter("comm.gave_up") == 1
+        finally:
+            disable_registry()
+
+
+class TestResilientComm:
+    def _policy(self):
+        return RetryPolicy(max_attempts=5, jitter=0.0, sleep=lambda s: None)
+
+    def test_absorbs_injected_failures(self):
+        comm = ResilientComm(2, policy=self._policy())
+        plan = FaultPlan(seed=CHAOS_SEED).with_comm_failures(
+            1.0, max_failures=3
+        )
+        payload = [[np.arange(3), None], [None, np.arange(2)]]
+        with use_faults(plan):
+            out = comm.alltoallv(payload, tag="t")
+        assert np.array_equal(out[0][0], np.arange(3))
+        assert plan.injected["comm"] == 3
+        assert plan.recovered["comm"] == 1
+
+    def test_failed_attempts_charge_no_traffic(self):
+        clean = ResilientComm(2, policy=self._policy())
+        clean.allgather([1, 2], tag="t")
+        baseline = (clean.stats.messages, clean.stats.bytes)
+
+        comm = ResilientComm(2, policy=self._policy())
+        plan = FaultPlan(seed=0).with_comm_failures(1.0, max_failures=2)
+        with use_faults(plan):
+            comm.allgather([1, 2], tag="t")
+        # one successful delivery's traffic despite three attempts
+        assert (comm.stats.messages, comm.stats.bytes) == baseline
+
+    def test_gave_up_propagates(self):
+        comm = ResilientComm(
+            2,
+            policy=RetryPolicy(
+                max_attempts=2, jitter=0.0, sleep=lambda s: None
+            ),
+        )
+        plan = FaultPlan(seed=0).with_comm_failures(1.0)
+        with use_faults(plan), pytest.raises(CommGaveUpError):
+            comm.barrier(tag="t")
+
+    def test_split_children_share_the_policy(self):
+        comm = ResilientComm(4, policy=self._policy())
+        children = comm.split([0, 0, 1, 1])
+        assert len(children) == 2
+        for child in children:
+            assert isinstance(child, ResilientComm)
+            assert child.policy is comm.policy
+            assert child.stats is comm.stats
+
+    def test_matches_plain_comm_without_faults(self):
+        plain = SimulatedComm(3)
+        res = ResilientComm(3, policy=self._policy())
+        vals = [10, 20, 30]
+        assert res.allreduce(vals) == plain.allreduce(vals)
+        assert res.allgather(vals) == plain.allgather(vals)
+
+
+# ----------------------------------------------------------------------
+# Replica-based recovery
+# ----------------------------------------------------------------------
+class TestRecovery:
+    def _exchange(self):
+        decomp = DomainDecomposition(BOX, DIMS)
+        return OverloadExchange(decomp, DEPTH)
+
+    def _cloud(self, n=400, seed=1):
+        rng = np.random.default_rng(seed)
+        pos = rng.uniform(0.0, BOX, (n, 3))
+        mom = rng.standard_normal((n, 3))
+        mas = rng.uniform(0.5, 1.5, n)
+        ids = np.arange(n, dtype=np.int64)
+        return pos, mom, mas, ids
+
+    def test_harvest_dedupes_by_id(self):
+        ex = self._exchange()
+        pos, mom, mas, ids = self._cloud()
+        domains = ex.distribute(pos, mom, mas, ids)
+        survivors = [d for d in domains if d.rank != 1]
+        r_pos, r_mom, r_mas, r_pid, r_home = harvest_replicas(
+            survivors, {1}, ex
+        )
+        assert len(np.unique(r_pid)) == len(r_pid)
+        assert np.all(r_home == 1)
+        assert np.all((r_pos >= 0.0) & (r_pos < BOX))
+
+    def test_recover_respawns_every_rank(self):
+        ex = self._exchange()
+        pos, mom, mas, ids = self._cloud()
+        domains = ex.distribute(pos, mom, mas, ids)
+        new_domains, report = recover_ranks(ex, domains, {1})
+        assert sorted(d.rank for d in new_domains) == [0, 1]
+        assert report.dead_ranks == (1,)
+        assert report.n_expected == domains[1].n_active
+        assert 0.0 < report.coverage() <= 1.0
+        # every surviving particle kept its momentum bit-for-bit
+        dead_active_ids = domains[1].ids[domains[1].active]
+        recovered_ids = np.setdiff1d(dead_active_ids, report.lost_ids)
+        old = {
+            int(i): domains[1].momenta[domains[1].active][k]
+            for k, i in enumerate(dead_active_ids)
+        }
+        dom1 = next(d for d in new_domains if d.rank == 1)
+        act = dom1.active
+        for k, i in enumerate(dom1.ids[act]):
+            if int(i) in old and i in recovered_ids:
+                assert np.array_equal(dom1.momenta[act][k], old[int(i)])
+
+    def test_lost_particles_are_deep_interior(self):
+        ex = self._exchange()
+        pos, mom, mas, ids = self._cloud()
+        domains = ex.distribute(pos, mom, mas, ids)
+        _, report = recover_ranks(ex, domains, {1})
+        if report.n_lost == 0:
+            pytest.skip("no interior particles in this draw")
+        lost_pos = pos[np.isin(ids, report.lost_ids)]
+        # rank 1 of a (2,1,1) split owns x in [32, 64); only x matters
+        # (y/z span the whole box, so there is no boundary there)
+        x = lost_pos[:, 0]
+        lo, hi = BOX / 2, BOX
+        dist = np.minimum(x - lo, hi - x)
+        assert np.all(dist > DEPTH)
+
+    def test_empty_death_set_is_identity(self):
+        ex = self._exchange()
+        pos, mom, mas, ids = self._cloud(n=50)
+        domains = ex.distribute(pos, mom, mas, ids)
+        same, report = recover_ranks(ex, domains, set())
+        assert same is domains
+        assert report.n_expected == 0
+
+    def test_unknown_rank_rejected(self):
+        ex = self._exchange()
+        pos, mom, mas, ids = self._cloud(n=50)
+        domains = ex.distribute(pos, mom, mas, ids)
+        with pytest.raises(ValueError, match="dead ranks"):
+            recover_ranks(ex, domains, {7})
+
+
+# ----------------------------------------------------------------------
+# Driver-level chaos scenarios
+# ----------------------------------------------------------------------
+@pytest.mark.chaos
+class TestDriverChaos:
+    def test_rank_death_is_recovered_mid_run(self):
+        cfg = tiny_config()
+        plan = FaultPlan(seed=CHAOS_SEED).with_rank_death(step=2, rank=1)
+        with use_faults(plan):
+            sim = HACCSimulation(
+                cfg, decomposition_dims=DIMS, overload_depth=DEPTH
+            )
+            sim.run()
+        assert plan.injected["rank_death"] == 1
+        assert plan.recovered["rank_death"] == 1
+        assert len(sim.recovery_reports) == 1
+        report = sim.recovery_reports[0]
+        assert report.dead_ranks == (1,)
+        assert report.coverage() > 0.5
+
+    def test_recovered_run_stays_close_to_fault_free(self):
+        cfg = tiny_config()
+        ref = HACCSimulation(
+            cfg, decomposition_dims=DIMS, overload_depth=DEPTH
+        )
+        ref.run()
+        plan = FaultPlan(seed=CHAOS_SEED).with_rank_death(step=2, rank=1)
+        with use_faults(plan):
+            sim = HACCSimulation(
+                cfg, decomposition_dims=DIMS, overload_depth=DEPTH
+            )
+            sim.run()
+        # the lost deep-interior particles miss one short-range kick;
+        # displacements stay far below the grid spacing (8 Mpc/h)
+        diff = np.abs(sim.particles.positions - ref.particles.positions)
+        diff = np.minimum(diff, BOX - diff)  # periodic
+        assert np.max(diff) < 0.5
+
+    def test_unrecovered_death_goes_crit(self):
+        cfg = tiny_config(n_steps=3)
+        plan = FaultPlan(seed=CHAOS_SEED).with_rank_death(step=1, rank=0)
+        with use_faults(plan):
+            sim = HACCSimulation(
+                cfg,
+                decomposition_dims=DIMS,
+                overload_depth=DEPTH,
+                recover_on_rank_death=False,
+            )
+            sim.attach_health()
+            sim.run()
+        checks = [e.check for e in sim.health.monitor.events]
+        assert "rank_died" in checks
+        assert sim.health.verdict() == "CRIT"
+        assert sim.health.exit_status() == 2
+        assert not sim.recovery_reports
+        assert plan.recovered.get("rank_death") is None
+
+    def test_recovered_death_is_warn_not_crit(self):
+        cfg = tiny_config(n_steps=3)
+        plan = FaultPlan(seed=CHAOS_SEED).with_rank_death(step=1, rank=1)
+        # thresholds wide open: only the discrete fault events matter
+        wide = {"energy_residual": (1e9, 1e9)}
+        with use_faults(plan):
+            sim = HACCSimulation(
+                cfg, decomposition_dims=DIMS, overload_depth=DEPTH
+            )
+            from repro.instrument import HealthThresholds
+
+            sim.attach_health(
+                thresholds=HealthThresholds().with_(
+                    momentum_drift=(1e9, 2e9),
+                    energy_residual=(1e9, 2e9),
+                    mass_error=(1e9, 2e9),
+                )
+            )
+            sim.run()
+        checks = [e.check for e in sim.health.monitor.events]
+        assert "rank_recovered" in checks
+        assert "rank_died" not in checks
+        assert sim.health.verdict() == "WARN"
+        assert sim.health.exit_status() == 0
+
+    def test_transient_comm_failures_absorbed_by_retry(self):
+        cfg = tiny_config(n_steps=2)
+        plan = FaultPlan(seed=CHAOS_SEED).with_comm_failures(
+            1.0, tags="overload.*", max_failures=2
+        )
+        policy = RetryPolicy(
+            max_attempts=4, jitter=0.0, sleep=lambda s: None
+        )
+        with use_faults(plan):
+            sim = HACCSimulation(
+                cfg,
+                decomposition_dims=DIMS,
+                overload_depth=DEPTH,
+                retry_policy=policy,
+            )
+            sim.run()
+        assert abs(sim.a - cfg.a_final) < 1e-12
+        assert plan.injected["comm"] == 2
+        assert plan.recovered["comm"] >= 1
+
+    def test_shortrange_slowdown_is_injected(self):
+        cfg = tiny_config(n_steps=1)
+        plan = FaultPlan(seed=CHAOS_SEED).with_slowdown(
+            "shortrange", 0.001
+        )
+        with use_faults(plan):
+            sim = HACCSimulation(cfg)
+            sim.run()
+        assert plan.injected["slowdown"] >= 1
+
+    def test_fft_slowdown_hooks_the_pencil_transform(self):
+        from repro.fft.pencil import PencilFFT
+
+        plan = FaultPlan(seed=CHAOS_SEED).with_slowdown("fft", 0.001)
+        p = PencilFFT(8, 2, 2)
+        x = np.random.default_rng(0).standard_normal((8, 8, 8))
+        with use_faults(plan):
+            k = p.gather(p.forward(p.scatter(x)), "x-pencil")
+        assert np.allclose(k, np.fft.fftn(x))
+        assert plan.injected["slowdown"] >= 1
+
+
+class TestRegressionGate:
+    """The CI gate must distinguish 'slow' (exit 1) from 'physically
+    wrong: a rank died and stayed dead' (exit 2)."""
+
+    def _checker(self):
+        import importlib.util
+        from pathlib import Path
+
+        path = (
+            Path(__file__).resolve().parents[1]
+            / "benchmarks" / "check_regression.py"
+        )
+        spec = importlib.util.spec_from_file_location(
+            "check_regression", path
+        )
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        return mod
+
+    def _write(self, directory, name, events=(), faults=None,
+               duration=1.0):
+        import json
+
+        directory.mkdir(parents=True, exist_ok=True)
+        events = list(events)
+        verdict = "OK"
+        for e in events:
+            if e["severity"] == "CRIT":
+                verdict = "CRIT"
+        rec = {
+            "name": name,
+            "payload": {
+                "nodeid": f"bench.py::{name}",
+                "outcome": "passed",
+                "duration_s": duration,
+                "telemetry": {
+                    "steps": 2,
+                    "max_imbalance": 1.0,
+                    "alerts": len(events),
+                    "health_verdict": verdict,
+                    "health_events": events,
+                },
+            },
+        }
+        if faults is not None:
+            rec["payload"]["faults"] = faults
+        (directory / f"BENCH_{name}.json").write_text(json.dumps(rec))
+
+    def test_healthy_records_pass(self, tmp_path):
+        mod = self._checker()
+        fresh, base = tmp_path / "fresh", tmp_path / "base"
+        self._write(fresh, "fig5_x")
+        self._write(base, "fig5_x")
+        argv = ["--records", str(fresh), "--baseline", str(base),
+                "--check-health"]
+        assert mod.main(argv) == 0
+
+    def test_unrecovered_rank_death_exits_2(self, tmp_path):
+        mod = self._checker()
+        fresh, base = tmp_path / "fresh", tmp_path / "base"
+        self._write(
+            fresh, "chaos_x",
+            events=[
+                {"check": "rank_died", "severity": "CRIT", "step": 3},
+            ],
+            faults={"faults_injected": 1, "faults_recovered": 0},
+        )
+        self._write(base, "chaos_x")
+        argv = ["--records", str(fresh), "--baseline", str(base),
+                "--check-health"]
+        assert mod.main(argv) == 2
+
+    def test_recovered_death_is_not_fatal(self, tmp_path):
+        mod = self._checker()
+        fresh, base = tmp_path / "fresh", tmp_path / "base"
+        self._write(
+            fresh, "chaos_y",
+            events=[
+                {"check": "rank_recovered", "severity": "WARN", "step": 3},
+            ],
+            faults={"faults_injected": 1, "faults_recovered": 1},
+        )
+        self._write(base, "chaos_y")
+        argv = ["--records", str(fresh), "--baseline", str(base),
+                "--check-health"]
+        assert mod.main(argv) == 0
+
+    def test_crit_without_rank_death_exits_1(self, tmp_path):
+        mod = self._checker()
+        fresh, base = tmp_path / "fresh", tmp_path / "base"
+        self._write(
+            fresh, "bench_z",
+            events=[
+                {"check": "energy_residual", "severity": "CRIT",
+                 "step": 1},
+            ],
+        )
+        self._write(base, "bench_z")
+        argv = ["--records", str(fresh), "--baseline", str(base),
+                "--check-health"]
+        assert mod.main(argv) == 1
+
+    def test_without_check_health_events_are_ignored(self, tmp_path):
+        mod = self._checker()
+        fresh, base = tmp_path / "fresh", tmp_path / "base"
+        self._write(
+            fresh, "chaos_q",
+            events=[
+                {"check": "rank_died", "severity": "CRIT", "step": 1},
+            ],
+        )
+        self._write(base, "chaos_q")
+        argv = ["--records", str(fresh), "--baseline", str(base)]
+        # without --check-health only perf is gated; nothing regressed
+        assert mod.main(argv) == 0
+
+
+@pytest.mark.chaos
+class TestChaosEndToEnd:
+    """The acceptance scenario: kill a rank mid-run, corrupt the latest
+    checkpoint, auto-resume from the newest *valid* one, and finish with
+    physics within the overload tolerance of a fault-free run."""
+
+    def test_kill_corrupt_resume_power_spectrum(self, tmp_path):
+        from repro.analysis import matter_power_spectrum
+        from repro.io import (
+            Checkpointer,
+            CheckpointSchedule,
+            find_latest_valid,
+            load_checkpoint,
+        )
+
+        cfg = tiny_config(n_steps=6)
+
+        # fault-free reference (same decomposition, no injection)
+        ref = HACCSimulation(
+            cfg, decomposition_dims=DIMS, overload_depth=DEPTH
+        )
+        ref.run()
+
+        # phase 1: run 4 steps, checkpoint every step, with a rank death
+        # at step 2 and the *last* checkpoint write corrupted
+        plan = (
+            FaultPlan(seed=CHAOS_SEED)
+            .with_rank_death(step=2, rank=1)
+            .with_checkpoint_corruption(write_index=3, mode="truncate")
+        )
+        ckdir = tmp_path / "ckpts"
+        with use_faults(plan):
+            sim = HACCSimulation(
+                cfg, decomposition_dims=DIMS, overload_depth=DEPTH
+            )
+            ck = Checkpointer(
+                ckdir, keep_last=3,
+                schedule=CheckpointSchedule(every_steps=1),
+            )
+            while sim._step_index < 4:
+                sim.step()
+                ck.maybe_checkpoint(sim)
+        assert plan.injected == {"rank_death": 1, "checkpoint": 1}
+        assert plan.recovered["rank_death"] == 1
+
+        # phase 2: the "crash" happened; auto-resume must skip the
+        # corrupted ckpt_000004 and fall back to ckpt_000003
+        latest = find_latest_valid(ckdir)
+        assert latest is not None
+        assert latest.name == "ckpt_000003.npz"
+        resumed = load_checkpoint(
+            latest, decomposition_dims=DIMS, overload_depth=DEPTH
+        )
+        assert resumed._step_index == 3
+        resumed.run()
+        assert abs(resumed.a - cfg.a_final) < 1e-12
+
+        # physics: P(k) of the chaos run within the overload tolerance
+        grid = cfg.grid()
+        ps_ref = matter_power_spectrum(
+            ref.particles.positions, BOX, grid,
+            subtract_shot_noise=False,
+        )
+        ps_res = matter_power_spectrum(
+            resumed.particles.positions, BOX, grid,
+            subtract_shot_noise=False,
+        )
+        ok = ps_ref.power > 0
+        rel = np.abs(ps_res.power[ok] - ps_ref.power[ok]) / ps_ref.power[ok]
+        assert np.max(rel) < 0.05
+
+    def test_fault_free_resume_is_bitwise(self, tmp_path):
+        from repro.io import (
+            Checkpointer,
+            CheckpointSchedule,
+            find_latest_valid,
+            load_checkpoint,
+        )
+
+        cfg = tiny_config(n_steps=6)
+        ref = HACCSimulation(
+            cfg, decomposition_dims=DIMS, overload_depth=DEPTH
+        )
+        ref.run()
+
+        sim = HACCSimulation(
+            cfg, decomposition_dims=DIMS, overload_depth=DEPTH
+        )
+        ck = Checkpointer(
+            tmp_path, keep_last=2,
+            schedule=CheckpointSchedule(every_steps=2),
+        )
+        while sim._step_index < 4:
+            sim.step()
+            ck.maybe_checkpoint(sim)
+
+        resumed = load_checkpoint(
+            find_latest_valid(tmp_path),
+            decomposition_dims=DIMS,
+            overload_depth=DEPTH,
+        )
+        resumed.run()
+        assert np.array_equal(
+            resumed.particles.positions, ref.particles.positions
+        )
+        assert np.array_equal(
+            resumed.particles.momenta, ref.particles.momenta
+        )
+        assert resumed.a == ref.a
