@@ -33,6 +33,7 @@ from pathlib import Path
 HERE = Path(__file__).parent
 DEFAULT_RECORDS = HERE / "records"
 DEFAULT_BASELINE = HERE / "records" / "baseline"
+DEFAULT_SPEEDUP_RECORD = HERE.parent / "BENCH_executor.json"
 
 
 def load_records(directory: Path) -> dict[str, dict]:
@@ -93,6 +94,67 @@ def faults_of(rec: dict) -> tuple[int, int] | None:
         return None
 
 
+def speedup_of(rec: dict) -> dict | None:
+    """The executor-scaling speedup block of a record, if present."""
+    sp = rec.get("payload", {}).get("speedup")
+    if not isinstance(sp, dict):
+        return None
+    try:
+        return {
+            "workers": int(sp.get("workers", 0)),
+            "backend": str(sp.get("backend", "?")),
+            "value": float(sp["value"]),
+        }
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def check_speedup(
+    fresh: dict[str, dict], record_path: Path, min_speedup: float
+) -> tuple[str | None, tuple[str, ...] | None]:
+    """Gate the executor-scaling speedup; (failure, table_row) or Nones.
+
+    The record is absolute — a speedup is a ratio measured within one
+    run — so no baseline is involved: the gate fails when the curve's
+    gated point is below ``min_speedup`` or no record exists at all.
+    """
+    rec = fresh.get("executor")
+    if rec is None and record_path.is_file():
+        try:
+            rec = json.loads(record_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            return (f"executor: unreadable record {record_path}: {exc}",
+                    None)
+    if rec is None:
+        return (
+            f"executor: no speedup record (looked in the records dir "
+            f"and at {record_path}); run bench_executor_scaling.py",
+            None,
+        )
+    sp = speedup_of(rec)
+    if sp is None:
+        return ("executor: record has no payload.speedup block", None)
+    status = (
+        "ok"
+        if sp["value"] >= min_speedup
+        else f"BELOW {min_speedup:.2f}x"
+    )
+    row = (
+        "executor",
+        "speedup",
+        f"{sp['value']:.2f}x",
+        f">={min_speedup:.2f}x",
+        f"{sp['backend']}@{sp['workers']}w {status}",
+    )
+    if sp["value"] < min_speedup:
+        return (
+            f"executor: {sp['backend']} backend at {sp['workers']} "
+            f"workers reached {sp['value']:.2f}x < {min_speedup:.2f}x",
+            row,
+        )
+    return (None, row)
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument(
@@ -123,6 +185,26 @@ def main(argv: list[str] | None = None) -> int:
         "--update-baseline",
         action="store_true",
         help="copy the fresh records over the baseline and exit",
+    )
+    ap.add_argument(
+        "--check-speedup",
+        action="store_true",
+        help="also gate the executor-scaling record (repo-root "
+             "BENCH_executor.json or the records dir): fail when the "
+             "short-range phase speedup at 4 workers is below "
+             "--min-speedup",
+    )
+    ap.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.7,
+        help="minimum accepted executor speedup (default 1.7)",
+    )
+    ap.add_argument(
+        "--speedup-record",
+        type=Path,
+        default=DEFAULT_SPEEDUP_RECORD,
+        help="fallback location of the executor-scaling record",
     )
     ap.add_argument(
         "--check-health",
@@ -209,6 +291,15 @@ def main(argv: list[str] | None = None) -> int:
         rows.append(
             (name, tag, f"{cur:.3f}", f"{base:.3f}", f"{change:+.1%} {verdict}")
         )
+
+    if args.check_speedup:
+        failure, row = check_speedup(
+            fresh, args.speedup_record, args.min_speedup
+        )
+        if row is not None:
+            rows.append(row)
+        if failure is not None:
+            failures.append(failure)
 
     widths = [max(len(r[i]) for r in rows + [("name", "kind", "cur s", "base s", "status")]) for i in range(5)]
     header = ("name", "kind", "cur s", "base s", "status")

@@ -1,15 +1,19 @@
 #!/usr/bin/env bash
-# CI lane: smoke tests + chaos lane + Fig. 5 benchmarks + regression gate.
+# CI lane: smoke tests + chaos lane + benchmarks + regression gates.
 #
 # Usage: scripts/ci_check.sh
 #
-# Runs the fast ("not slow") test suite, the deterministic chaos lane
-# (fault-injection tests under a fixed seed, REPRO_CHAOS_SEED), the
-# gated Fig. 5 benchmark records, and checks them against the stored
-# baseline with benchmarks/check_regression.py --check-health (fails on
-# >20% slowdown of a gated bench or a CRIT physics-health verdict; an
-# unrecovered rank death exits 2).  Bootstraps the baseline on first run
-# instead of failing.
+# Runs the fast ("not slow") test suite, a parallel-executor smoke run
+# (the demo CLI under --workers 2), the deterministic chaos lane twice
+# (fault-injection tests under a fixed seed, REPRO_CHAOS_SEED — once on
+# the default serial fleet, once dispatched over REPRO_CHAOS_WORKERS
+# thread workers), the gated Fig. 5 kernel benchmarks plus the
+# executor-scaling bench, and checks the records against the stored
+# baseline with benchmarks/check_regression.py --check-health
+# --check-speedup (fails on >20% slowdown of a gated bench, a CRIT
+# physics-health verdict, or a short-range executor speedup below 1.7x
+# at 4 workers; an unrecovered rank death exits 2).  Bootstraps the
+# baseline on first run instead of failing.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -17,23 +21,30 @@ cd "$REPO_ROOT"
 
 PYTHON="${PYTHON:-python}"
 export REPRO_CHAOS_SEED="${REPRO_CHAOS_SEED:-2012}"
+export REPRO_CHAOS_WORKERS="${REPRO_CHAOS_WORKERS:-2}"
 
-echo "== 1/4 smoke tests (pytest -m 'not slow') =="
+echo "== 1/6 smoke tests (pytest -m 'not slow') =="
 PYTHONPATH=src "$PYTHON" -m pytest tests -q -m "not slow"
 
-echo "== 2/4 chaos lane (pytest -m chaos, seed $REPRO_CHAOS_SEED) =="
+echo "== 2/6 parallel smoke (demo --workers 2) =="
+PYTHONPATH=src "$PYTHON" -m repro demo --steps 2 --n-per-dim 12 --workers 2
+
+echo "== 3/6 chaos lane (pytest -m chaos, seed $REPRO_CHAOS_SEED) =="
 PYTHONPATH=src "$PYTHON" -m pytest tests -q -m chaos
 
-echo "== 3/4 fig5 kernel benchmarks =="
-(cd benchmarks && PYTHONPATH=../src "$PYTHON" -m pytest bench_fig5_kernel_threading.py -q)
+echo "== 4/6 chaos lane under $REPRO_CHAOS_WORKERS workers =="
+PYTHONPATH=src "$PYTHON" -m pytest tests/test_parallel_executor.py -q -m chaos
 
-echo "== 4/4 regression + health gate =="
+echo "== 5/6 fig5 kernel + executor scaling benchmarks =="
+(cd benchmarks && PYTHONPATH=../src "$PYTHON" -m pytest bench_fig5_kernel_threading.py bench_executor_scaling.py -q)
+
+echo "== 6/6 regression + health + speedup gate =="
 if [ ! -d benchmarks/records/baseline ] || \
    ! ls benchmarks/records/baseline/BENCH_*.json >/dev/null 2>&1; then
     echo "no baseline found -- bootstrapping from this run"
     "$PYTHON" benchmarks/check_regression.py --update-baseline
 fi
-"$PYTHON" benchmarks/check_regression.py --check-health
+"$PYTHON" benchmarks/check_regression.py --check-health --check-speedup
 
 echo "ci_check: all gates passed"
 

@@ -19,6 +19,7 @@ from repro.cosmology.background import WMAP7, Cosmology
 __all__ = ["SimulationConfig"]
 
 _BACKENDS = ("treepm", "p3m", "direct", "pm")
+_EXECUTORS = ("serial", "thread", "process")
 
 
 @dataclass(frozen=True)
@@ -64,6 +65,16 @@ class SimulationConfig:
     step_spacing:
         ``"a"`` for uniform scale-factor steps, ``"loga"`` for uniform
         logarithmic steps.
+    workers:
+        Worker count for the rank executor (the node-level concurrency
+        of the paper's hybrid MPI+OpenMP model; see
+        :mod:`repro.parallel.executor`).  The work *partitioning* is
+        keyed on this value alone, so runs at equal ``workers`` are
+        bit-identical across executor backends.
+    executor:
+        Rank-executor backend: ``"serial"`` (default), ``"thread"``
+        (NumPy-GIL-release thread pool) or ``"process"``
+        (shared-memory fork pool).
     seed:
         White-noise seed for the initial conditions.
     cosmology:
@@ -89,6 +100,8 @@ class SimulationConfig:
     gradient_order: int = 4
     lpt_order: int = 1
     step_spacing: str = "a"
+    workers: int = 1
+    executor: str = "serial"
     seed: int = 0
     cosmology: Cosmology = field(default_factory=lambda: WMAP7)
 
@@ -131,6 +144,13 @@ class SimulationConfig:
             )
         if self.lpt_order not in (1, 2):
             raise ValueError(f"lpt_order must be 1 or 2: {self.lpt_order}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1: {self.workers}")
+        if self.executor not in _EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {_EXECUTORS}, "
+                f"got {self.executor!r}"
+            )
 
     # ------------------------------------------------------------------
     def grid(self) -> int:

@@ -22,6 +22,7 @@ pair force inside the handover radius.
 from __future__ import annotations
 
 import logging
+import threading
 import time
 from collections import defaultdict
 from typing import Callable
@@ -35,6 +36,7 @@ from repro.core.timestepper import SubcycledStepper
 from repro.cosmology.initial_conditions import make_initial_conditions
 from repro.grid.poisson import SpectralPoissonSolver
 from repro.parallel.decomposition import DomainDecomposition
+from repro.parallel.executor import RankExecutor, resolve_shared
 from repro.parallel.overload import OverloadExchange
 from repro.resilience.faults import get_fault_plan
 from repro.shortrange.grid_force import (
@@ -43,14 +45,86 @@ from repro.shortrange.grid_force import (
 )
 from repro.shortrange.kernel import ShortRangeKernel
 from repro.shortrange.solvers import (
-    DirectShortRange,
-    P3MShortRange,
-    TreePMShortRange,
+    build_solver,
+    solver_from_spec,
+    solver_spec,
 )
 
 __all__ = ["HACCSimulation"]
 
 logger = logging.getLogger(__name__)
+
+
+# ----------------------------------------------------------------------
+# executor worker plumbing (module-level: process tasks pickle by
+# reference and the worker solver lives in the child's module globals)
+# ----------------------------------------------------------------------
+_WORKER_SOLVER = None
+
+
+def _init_worker_solver(spec) -> None:
+    """Process-pool initializer: build the worker's private solver."""
+    global _WORKER_SOLVER
+    _WORKER_SOLVER = solver_from_spec(spec) if spec is not None else None
+
+
+def _solve_domain(solver, rank, positions, masses, active):
+    """One rank's short-range solve — the task body of every backend.
+
+    Mirrors the serial loop exactly (same actives-first stable ordering,
+    same float operations) so results are bit-identical regardless of
+    where it runs.  Returns ``(rank, accelerations, pair_count,
+    tree_depth)``; the pair count is the worker kernel's private delta,
+    charged to the authoritative counters by the driver in rank order.
+    """
+    get_fault_plan().sleep("shortrange.domain")
+    if positions.shape[0] == 0:
+        return rank, np.zeros((0, 3), dtype=np.float64), 0, None
+    order = np.argsort(~active, kind="stable")  # actives first
+    n_act = int(np.count_nonzero(active))
+    k0 = solver.kernel.interaction_count
+    local = solver.accelerations_cloud(positions[order], masses[order], n_act)
+    pairs = int(solver.kernel.interaction_count - k0)
+    depth = getattr(solver, "last_tree_depth", None)
+    return rank, local, pairs, depth
+
+
+def _solve_domain_shared(payload):
+    """Process-backend task: reconstruct the domain cloud from indices.
+
+    ``positions``/``masses`` arrive as shared-memory handles; the domain
+    ships only global ids plus per-axis periodic wrap codes (int8 in
+    {-1, 0, 1}).  ``ids_indexed + codes * box`` repeats the identical
+    float64 addition the overload exchange performed, so the
+    reconstructed cloud is bitwise equal to the one the serial path saw
+    (the dispatcher verifies this before choosing index shipping).
+    """
+    rank, pos_ref, mas_ref, ids, codes, active, box = payload
+    gpos = resolve_shared(pos_ref)
+    gmas = resolve_shared(mas_ref)
+    positions = gpos[ids] + codes.astype(np.float64) * box
+    return _solve_domain(_WORKER_SOLVER, rank, positions, gmas[ids], active)
+
+
+def _solve_domain_arrays(payload):
+    """Process-backend fallback task: the domain arrays travel whole.
+
+    Used when index reconstruction would not be exact — e.g. domains
+    rebuilt by rank-death recovery, whose positions are not simple
+    wrapped copies of the global array.
+    """
+    rank, positions, masses, active = payload
+    return _solve_domain(_WORKER_SOLVER, rank, positions, masses, active)
+
+
+def _dispatch_domain_task(item):
+    """Uniform process-task envelope: ``(task_fn, payload)`` pairs.
+
+    Lets one ``map`` call mix index-shipped and whole-array domains
+    while keeping result order aligned with the domain list.
+    """
+    fn, payload = item
+    return fn(payload)
 
 
 class HACCSimulation:
@@ -136,6 +210,7 @@ class HACCSimulation:
 
         self.kernel: ShortRangeKernel | None = None
         self.short_solver = None
+        self._solver_spec: dict | None = None
         if config.backend != "pm":
             fit = default_grid_force_fit(
                 config.sigma, config.ns, config.rcut_cells
@@ -143,21 +218,31 @@ class HACCSimulation:
             self.kernel = ShortRangeKernel(
                 fit, config.spacing(), eps_cells=config.eps_cells
             )
-            if config.backend == "treepm":
-                self.short_solver = TreePMShortRange(
-                    self.kernel,
-                    leaf_size=config.leaf_size,
-                    naive=config.shortrange_naive,
-                    chunk_pairs=config.chunk_pairs,
-                )
-            elif config.backend == "p3m":
-                self.short_solver = P3MShortRange(
-                    self.kernel,
-                    naive=config.shortrange_naive,
-                    chunk_pairs=config.chunk_pairs,
-                )
-            else:
-                self.short_solver = DirectShortRange(self.kernel)
+            self.short_solver = build_solver(
+                config.backend,
+                self.kernel,
+                leaf_size=config.leaf_size,
+                naive=config.shortrange_naive,
+                chunk_pairs=config.chunk_pairs,
+            )
+            self._solver_spec = solver_spec(
+                config.backend,
+                self.kernel,
+                leaf_size=config.leaf_size,
+                naive=config.shortrange_naive,
+                chunk_pairs=config.chunk_pairs,
+            )
+
+        #: rank executor running the bulk-synchronous parallel sections
+        #: (see :mod:`repro.parallel.executor`); the Poisson solver
+        #: shares it for the CIC deposit, gathers and gradient FFTs
+        self.executor = RankExecutor.from_config(
+            config,
+            initializer=_init_worker_solver,
+            initargs=(self._solver_spec,),
+        )
+        self.poisson.executor = self.executor
+        self._worker_local = threading.local()
 
         self.exchange: OverloadExchange | None = None
         self.recover_on_rank_death = bool(recover_on_rank_death)
@@ -241,6 +326,8 @@ class HACCSimulation:
         if plan.enabled:
             domains = self._handle_rank_death(domains, plan)
         tel = get_telemetry()
+        if self.executor.parallel:
+            return self._short_range_parallel(positions, domains, tel)
         acc = np.zeros_like(positions)
         for dom in domains:
             if tel.enabled:
@@ -249,6 +336,7 @@ class HACCSimulation:
                 tel.gauge(
                     "ghost_fraction", dom.rank, dom.overload_fraction()
                 )
+            plan.sleep("shortrange.domain")
             if dom.n_total == 0:
                 continue
             order = np.argsort(~dom.active, kind="stable")  # actives first
@@ -269,6 +357,121 @@ class HACCSimulation:
                     tel.gauge("tree_depth", dom.rank, depth)
             acc[ids[:n_act]] = local
         return acc
+
+    # ------------------------------------------------------------------
+    # parallel short-range dispatch
+    # ------------------------------------------------------------------
+    def _local_solver(self):
+        """Per-thread worker clone of the short-range solver.
+
+        Serial and thread backends run tasks in the driver's threads;
+        each thread gets its own clone so the batched engine's grow-only
+        workspace and the kernel's counters are never shared between
+        concurrent evaluations.
+        """
+        solver = getattr(self._worker_local, "solver", None)
+        if solver is None:
+            solver = solver_from_spec(self._solver_spec)
+            self._worker_local.solver = solver
+        return solver
+
+    def _short_range_parallel(self, positions, domains, tel):
+        """Fan the per-domain solves out over the rank executor.
+
+        Work is *partitioned* per domain regardless of backend and all
+        reductions (acceleration scatter, counter charging, telemetry
+        gauges) happen here in rank order — which is what makes the
+        result bit-identical to the serial loop for every backend.
+        Collectives already happened (``distribute`` above) and the next
+        one waits for ``map`` to join all ranks, so the bulk-synchronous
+        structure is preserved.
+        """
+        ex = self.executor
+        ranks = [dom.rank for dom in domains]
+        if ex.backend == "process":
+            box = self.config.box_size
+            pos_mod = np.mod(positions, box)
+            pos_ref = ex.share("shortrange.positions", pos_mod)
+            mas_ref = ex.share("shortrange.masses", self.particles.masses)
+            payloads, fns = [], []
+            for dom in domains:
+                shipped = None
+                if dom.n_total:
+                    base = pos_mod[dom.ids]
+                    codes = np.rint(
+                        (dom.positions - base) / box
+                    ).astype(np.int8)
+                    recon = base + codes.astype(np.float64) * box
+                    if np.array_equal(recon, dom.positions):
+                        shipped = (
+                            dom.rank, pos_ref, mas_ref,
+                            dom.ids, codes, dom.active, box,
+                        )
+                if shipped is not None:
+                    payloads.append(shipped)
+                    fns.append(_solve_domain_shared)
+                else:
+                    payloads.append(
+                        (dom.rank, dom.positions, dom.masses, dom.active)
+                    )
+                    fns.append(_solve_domain_arrays)
+            results = ex.map(
+                _dispatch_domain_task,
+                list(zip(fns, payloads)),
+                ranks=ranks,
+                label="shortrange.domain",
+            )
+        else:
+            payloads = [
+                (dom.rank, dom.positions, dom.masses, dom.active)
+                for dom in domains
+            ]
+            results = ex.map(
+                self._solve_domain_local,
+                payloads,
+                ranks=ranks,
+                label="shortrange.domain",
+            )
+        acc = np.zeros_like(positions)
+        for dom, res in zip(domains, results):
+            rank, local, pairs, depth = res
+            if tel.enabled:
+                tel.gauge("particles", dom.rank, dom.n_active)
+                tel.gauge("ghosts", dom.rank, dom.n_passive)
+                tel.gauge(
+                    "ghost_fraction", dom.rank, dom.overload_fraction()
+                )
+            if pairs:
+                # charge the authoritative counters here, in rank order:
+                # worker kernels tally privately (mirror_counters=False)
+                self.kernel.record_interactions(pairs)
+            if tel.enabled:
+                tel.add_gauge("interactions", dom.rank, pairs)
+                if depth is not None:
+                    tel.gauge("tree_depth", dom.rank, depth)
+            if dom.n_total == 0:
+                continue
+            # boolean selection preserves order, so these ids match the
+            # actives-first rows the task computed
+            acc[dom.ids[dom.active]] = local
+        return acc
+
+    def _solve_domain_local(self, payload):
+        """In-process task body (serial/thread backends)."""
+        rank, positions, masses, active = payload
+        return _solve_domain(self._local_solver(), rank, positions,
+                             masses, active)
+
+    def close(self) -> None:
+        """Release executor pools and shared memory (idempotent)."""
+        self.executor.close()
+
+    def __enter__(self) -> "HACCSimulation":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     def _handle_rank_death(self, domains, plan):
         """Apply any scheduled rank death to this force evaluation.

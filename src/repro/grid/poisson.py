@@ -22,7 +22,7 @@ the time stepper, keeping this layer free of unit conventions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -57,6 +57,16 @@ class SpectralPoissonSolver:
         Influence-function accuracy order (2, 4 or 6).
     gradient_order:
         Super-Lanczos differencing order (2 or 4).
+    executor:
+        Optional :class:`repro.parallel.executor.RankExecutor`.  With
+        more than one worker, the CIC deposit runs privatized over
+        worker chunks (:class:`repro.grid.threaded_cic.ThreadedCIC`),
+        the three gradient inverse FFTs run concurrently ("each
+        component of the potential field gradient then requires an
+        independent FFT" — a free 3-way section), and so do the three
+        CIC force gathers.  Partitioning depends only on the worker
+        *count*, so equal-``workers`` runs agree bitwise across
+        backends.
 
     Examples
     --------
@@ -79,6 +89,7 @@ class SpectralPoissonSolver:
     ns: int = NOMINAL_NS
     laplacian_order: int = 6
     gradient_order: int = 4
+    executor: object | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.n < 2:
@@ -90,10 +101,18 @@ class SpectralPoissonSolver:
         self._filter_green = spectral_filter(
             kx, ky, kz, self.spacing, self.sigma, self.ns
         ) * influence_function(kx, ky, kz, self.spacing, self.laplacian_order)
-        self._grad_kernels = tuple(
-            super_lanczos_gradient(kc, self.spacing, self.gradient_order)
+        # the force is -grad phi: the gradient kernels are stored
+        # pre-negated so each step spends one multiply per component
+        # instead of a negate + multiply temporary pair
+        self._neg_grad_kernels = tuple(
+            -super_lanczos_gradient(kc, self.spacing, self.gradient_order)
             for kc in (kx, ky, kz)
         )
+        self._threaded_cic = None
+
+    def _parallel(self) -> bool:
+        ex = self.executor
+        return ex is not None and getattr(ex, "parallel", False)
 
     # ------------------------------------------------------------------
     # grid-level operations
@@ -125,13 +144,29 @@ class SpectralPoissonSolver:
         """
         self._check_grid(delta)
         phi_k = self.potential_k(self._forward(delta))
-        reg = get_registry()
-        out = []
-        for kernel in self._grad_kernels:
-            with reg.span("poisson.filter"):
-                grad_k = -kernel * phi_k
-            out.append(self._inverse(grad_k))
-        return tuple(out)
+        if self._parallel():
+            # the three components are independent inverse transforms;
+            # map_inprocess runs them concurrently under the thread
+            # backend and falls back to the ordered loop otherwise
+            # (grids are too heavy to ship across processes)
+            return tuple(
+                self.executor.map_inprocess(
+                    self._grad_component,
+                    [(k, phi_k) for k in self._neg_grad_kernels],
+                    label="fft.gradient",
+                )
+            )
+        return tuple(
+            self._grad_component((kernel, phi_k))
+            for kernel in self._neg_grad_kernels
+        )
+
+    def _grad_component(self, payload) -> np.ndarray:
+        """One gradient component: filter multiply + inverse FFT."""
+        kernel, phi_k = payload
+        with get_registry().span("poisson.filter"):
+            grad_k = kernel * phi_k
+        return self._inverse(grad_k)
 
     # ------------------------------------------------------------------
     # instrumented transforms
@@ -171,24 +206,59 @@ class SpectralPoissonSolver:
         computation).
         """
         coords = ParticleGridCoords(positions, self.n, self.box_size)
-        counts = cic_deposit(
-            positions, self.n, self.box_size, weights, coords=coords
-        )
+        if self._parallel():
+            counts = self._deposit_parallel(positions, weights)
+        else:
+            counts = cic_deposit(
+                positions, self.n, self.box_size, weights, coords=coords
+            )
         mean = counts.mean()
         if mean <= 0:
             raise ValueError("empty particle distribution")
         delta = counts / mean - 1.0
         forces = self.force_grids(delta)
-        acc = np.stack(
-            [
+        if self._parallel():
+            comps = self.executor.map_inprocess(
+                self._gather_component,
+                [(f, positions, coords) for f in forces],
+                label="cic.gather",
+            )
+        else:
+            comps = [
                 cic_interpolate(f, positions, self.box_size, coords=coords)
                 for f in forces
-            ],
-            axis=1,
-        )
+            ]
+        acc = np.stack(comps, axis=1)
         if return_delta:
             return acc, delta
         return acc
+
+    def _gather_component(self, payload) -> np.ndarray:
+        """One CIC force gather (reads the shared precomputed coords)."""
+        force, positions, coords = payload
+        return cic_interpolate(
+            force, positions, self.box_size, coords=coords
+        )
+
+    def _deposit_parallel(self, positions, weights) -> np.ndarray:
+        """Privatized worker-chunked CIC deposit through the executor.
+
+        The partition depends only on the worker count and the reduction
+        order is fixed, so the grid is identical across executor
+        backends at equal ``workers`` (and equals the serial deposit to
+        float64 round-off — the reduction reassociates the sums).
+        """
+        from repro.grid.threaded_cic import ThreadedCIC
+
+        tc = self._threaded_cic
+        if tc is None or tc.n_workers != self.executor.n_workers:
+            tc = ThreadedCIC(
+                self.executor.n_workers,
+                strategy="privatize",
+                executor=self.executor,
+            )
+            self._threaded_cic = tc
+        return tc.deposit(positions, self.n, self.box_size, weights)
 
     # ------------------------------------------------------------------
     # distributed path (pencil FFT)

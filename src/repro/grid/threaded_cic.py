@@ -10,12 +10,15 @@ is *bitwise independent of the worker count* (floating-point addition is
 reassociated only inside the final reduction, which sums worker grids in
 fixed order), a property the tests pin down.
 
-In this reproduction the "workers" run sequentially (CPython), so the
-payoff measured here is the bookkeeping one: per-worker work balance and
-the memory cost of privatization — exactly the trade the production code
-must make.  An alternative conflict-free strategy, slab coloring
-(workers own disjoint grid slabs; particles sorted by slab; boundary
-cells handled by the neighbor pass), is provided for comparison.
+Without an executor the "workers" run sequentially (the bookkeeping
+payoff: per-worker balance and the memory cost of privatization); given a
+:class:`repro.parallel.executor.RankExecutor` the chunk deposits actually
+run on its workers — the wiring of Section VI's threading plan.  The
+partition and the reduction order depend only on the worker *count*, so
+the result is identical across executor backends.  An alternative
+conflict-free strategy, slab coloring (workers own disjoint grid slabs;
+particles sorted by slab; boundary cells handled by the neighbor pass),
+is provided for comparison.
 """
 
 from __future__ import annotations
@@ -27,6 +30,18 @@ import numpy as np
 from repro.grid.cic import cic_deposit
 
 __all__ = ["ThreadedCIC", "DepositReport"]
+
+
+def _deposit_chunk(payload) -> np.ndarray:
+    """One worker's private-grid deposit (module-level: picklable)."""
+    pos_ref, w_ref, start, stop, n, box = payload
+    if stop <= start:
+        return np.zeros((n, n, n))
+    from repro.parallel.executor import resolve_shared
+
+    pos = resolve_shared(pos_ref)
+    w = resolve_shared(w_ref)
+    return cic_deposit(pos[start:stop], n, box, w[start:stop])
 
 
 @dataclass(frozen=True)
@@ -58,17 +73,27 @@ class ThreadedCIC:
         worker deposits its slabs into the shared grid (cache-friendly,
         needs the bucketing pass; boundary columns touched by two
         workers are serialized into the owner).
+    executor:
+        Optional :class:`repro.parallel.executor.RankExecutor` running
+        the ``"privatize"`` chunk deposits concurrently.  ``None``
+        (default) keeps the sequential simulation of the partition.
     """
 
     STRATEGIES = ("privatize", "slab")
 
-    def __init__(self, n_workers: int = 4, strategy: str = "privatize") -> None:
+    def __init__(
+        self,
+        n_workers: int = 4,
+        strategy: str = "privatize",
+        executor=None,
+    ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1: {n_workers}")
         if strategy not in self.STRATEGIES:
             raise ValueError(f"unknown strategy {strategy!r}")
         self.n_workers = int(n_workers)
         self.strategy = strategy
+        self.executor = executor
         self.last_report: DepositReport | None = None
 
     # ------------------------------------------------------------------
@@ -92,14 +117,28 @@ class ThreadedCIC:
         return self._slab(pos, n, box_size, w)
 
     def _privatize(self, pos, n, box, w) -> np.ndarray:
+        # np.array_split of a range yields contiguous chunks: the same
+        # partition whether expressed as index arrays (sequential path)
+        # or as [start, stop) slices (executor payloads)
         chunks = np.array_split(np.arange(pos.shape[0]), self.n_workers)
-        grids = []
-        for c in chunks:
-            grids.append(
+        ex = self.executor
+        if ex is not None:
+            pos_ref = ex.share("cic.positions", pos)
+            w_ref = ex.share("cic.weights", w)
+            payloads, start = [], 0
+            for c in chunks:
+                payloads.append(
+                    (pos_ref, w_ref, start, start + c.size, n, box)
+                )
+                start += c.size
+            grids = ex.map(_deposit_chunk, payloads, label="cic.deposit")
+        else:
+            grids = [
                 cic_deposit(pos[c], n, box, w[c])
                 if c.size
                 else np.zeros((n, n, n))
-            )
+                for c in chunks
+            ]
         self.last_report = DepositReport(
             n_workers=self.n_workers,
             particles_per_worker=tuple(int(c.size) for c in chunks),

@@ -170,13 +170,22 @@ def write_chrome_trace(registry: Registry | NullRegistry, dest) -> int:
             }
         )
     n_spans_counters = len(trace)
+    # executor worker lanes live at pid >= WORKER_LANE_BASE (see
+    # repro.parallel.executor) and are labelled as workers, not ranks
+    from repro.parallel.executor import WORKER_LANE_BASE
+
     for rank in sorted({ev.rank for ev in events}):
+        label = (
+            f"worker {rank - WORKER_LANE_BASE}"
+            if rank >= WORKER_LANE_BASE
+            else f"rank {rank}"
+        )
         trace.append(
             {
                 "name": "process_name",
                 "ph": "M",
                 "pid": rank,
-                "args": {"name": f"rank {rank}"},
+                "args": {"name": label},
             }
         )
     with _open_text(dest, "w") as fh:

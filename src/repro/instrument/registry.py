@@ -192,6 +192,11 @@ class NullRegistry:
     def count(self, name: str, value: float = 1) -> None:
         return None
 
+    def record_external(
+        self, name: str, start: float, end: float, rank: int = 0
+    ) -> None:
+        return None
+
     @contextmanager
     def step(self, index: int) -> Iterator[None]:
         yield None
@@ -313,6 +318,45 @@ class Registry:
         """Accumulate ``value`` into counter ``name``."""
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + value
+
+    def record_external(
+        self, name: str, start: float, end: float, rank: int = 0
+    ) -> None:
+        """Record a span measured outside this registry's span stack.
+
+        Used for work timed in executor worker *processes*: the child
+        measures ``[start, end]`` against the shared monotonic clock and
+        the parent deposits the interval here, attributed to the
+        worker's trace lane.  The event is a root-level span (no nesting
+        path) and feeds the same section aggregates as :meth:`span`.
+        """
+        if end < start:
+            raise ValueError(f"span ends before it starts: {start}..{end}")
+        duration = end - start
+        with self._lock:
+            if len(self._events) < self.max_events:
+                self._events.append(
+                    SpanEvent(
+                        name=name,
+                        path=name,
+                        start=start,
+                        end=end,
+                        thread=threading.get_ident(),
+                        rank=rank,
+                    )
+                )
+            else:
+                self.dropped_events += 1
+            for key, table in (
+                (name, self._sections),
+                (name, self._paths),
+            ):
+                entry = table.get(key)
+                if entry is None:
+                    table[key] = [1, duration]
+                else:
+                    entry[0] += 1
+                    entry[1] += duration
 
     @contextmanager
     def step(self, index: int) -> Iterator[None]:

@@ -256,6 +256,8 @@ def run_manifest(config=None, extra: Mapping | None = None) -> dict:
         manifest["n_steps"] = config.n_steps
         manifest["n_particles"] = config.n_particles
         manifest["backend"] = config.backend
+        manifest["executor"] = getattr(config, "executor", "serial")
+        manifest["workers"] = getattr(config, "workers", 1)
     if extra:
         manifest.update(dict(extra))
     return manifest

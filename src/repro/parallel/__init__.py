@@ -12,6 +12,12 @@ feeds the BG/Q network model in :mod:`repro.machine`.
 
 from repro.parallel.comm import CommStats, SimulatedComm
 from repro.parallel.decomposition import DomainDecomposition
+from repro.parallel.executor import (
+    RankExecutor,
+    SharedArrayHandle,
+    WorkerError,
+    resolve_shared,
+)
 from repro.parallel.overload import OverloadedDomain, OverloadExchange
 from repro.parallel.topology import TorusTopology
 
@@ -21,5 +27,9 @@ __all__ = [
     "DomainDecomposition",
     "OverloadedDomain",
     "OverloadExchange",
+    "RankExecutor",
+    "SharedArrayHandle",
+    "WorkerError",
+    "resolve_shared",
     "TorusTopology",
 ]

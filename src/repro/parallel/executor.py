@@ -1,0 +1,490 @@
+"""Shared-memory rank executor: run the simulated rank fleet concurrently.
+
+The paper's evaluation is built on hybrid parallelism — MPI ranks across
+nodes plus OpenMP threads within a node (Section IV, Fig. 5).  In this
+reproduction the ranks are simulated in one process, but the *structure*
+is the same: between bulk-synchronous :class:`~repro.parallel.comm.
+SimulatedComm` collectives, each rank's short-range solve (and each
+gradient component's inverse FFT) is independent work.  The
+:class:`RankExecutor` maps that work onto one of three interchangeable
+backends:
+
+``serial``
+    An ordered in-thread loop over the *same work partition* the other
+    backends use.  The default, and the reference every other backend
+    must match bit-for-bit.
+``thread``
+    A persistent :class:`~concurrent.futures.ThreadPoolExecutor`.  NumPy
+    releases the GIL inside the batched pair engine's large array ops and
+    inside pocketfft, so rank solves genuinely overlap (the analogue of
+    the paper's OpenMP threads within a node).
+``process``
+    A persistent :mod:`multiprocessing` fork pool.  Particle arrays are
+    published once per step into POSIX shared memory
+    (:meth:`RankExecutor.share`), so per-rank dispatch ships *indices*
+    into those arrays, not copies — the analogue of ranks addressing a
+    node's memory directly.
+
+Determinism contract: the executor changes **where** tasks run, never
+**what** they compute or the order results are consumed.  Work is
+*partitioned* by the worker count alone — the serial backend at
+``workers=4`` walks the exact 4-way partition the thread and process
+backends dispatch, just in order.  ``map`` returns
+results in payload order, the caller performs all reductions in that
+fixed order, and every backend runs the identical per-task float
+operations — so trajectories are bit-identical across backends (a test
+pins this).  Collectives stay atomic: the executor joins all ranks
+before any :class:`SimulatedComm` call, exactly the bulk-synchronous
+structure of the paper's code.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.instrument import get_registry
+
+__all__ = [
+    "EXECUTOR_BACKENDS",
+    "WORKER_LANE_BASE",
+    "WorkerError",
+    "SharedArrayHandle",
+    "RankExecutor",
+    "resolve_shared",
+]
+
+#: the interchangeable execution backends, in "distance from serial" order
+EXECUTOR_BACKENDS = ("serial", "thread", "process")
+
+#: Chrome-trace lane offset: worker lanes live at ``pid >= 1000`` so they
+#: never collide with simulated-rank lanes (``pid = rank``)
+WORKER_LANE_BASE = 1000
+
+_HANDLE_COUNTER = itertools.count()
+
+
+class WorkerError(RuntimeError):
+    """A task raised inside the executor.
+
+    Carries the simulated ``rank`` of the failing task (the first failure
+    in payload order, so which rank is reported is deterministic even
+    when several fail concurrently) and chains the original exception.
+    """
+
+    def __init__(self, rank: int, original: BaseException) -> None:
+        super().__init__(
+            f"rank {rank} task failed: "
+            f"{type(original).__name__}: {original}"
+        )
+        self.rank = int(rank)
+        self.original = original
+
+
+@dataclass(frozen=True)
+class SharedArrayHandle:
+    """Picklable reference to a shared-memory NumPy array.
+
+    Shipped to process workers instead of the array itself; resolve with
+    :func:`resolve_shared`.
+    """
+
+    name: str
+    shape: tuple
+    dtype: str
+
+
+# ----------------------------------------------------------------------
+# worker-side shared-memory attachment (module-level: used in children)
+# ----------------------------------------------------------------------
+_ATTACHED: dict[str, "object"] = {}
+
+
+def resolve_shared(ref) -> np.ndarray:
+    """Materialize an array shipped through :meth:`RankExecutor.share`.
+
+    Plain arrays (serial/thread backends share by reference) pass
+    through; a :class:`SharedArrayHandle` is attached by name — cached
+    per process, so repeated per-step dispatches reuse the mapping.
+    """
+    if isinstance(ref, np.ndarray):
+        return ref
+    if not isinstance(ref, SharedArrayHandle):
+        raise TypeError(f"not a shareable array reference: {ref!r}")
+    shm = _ATTACHED.get(ref.name)
+    if shm is None:
+        from multiprocessing import resource_tracker, shared_memory
+
+        # Attaching registers the name with the resource tracker, which
+        # pool children *share* with the creator (the tracker cache is a
+        # set, so the re-register is idempotent).  Do not unregister
+        # here: the creator's unlink performs the one removal, and a
+        # second would make the tracker process raise KeyError.
+        shm = shared_memory.SharedMemory(name=ref.name)
+        _ATTACHED[ref.name] = shm
+    count = int(np.prod(ref.shape, dtype=np.int64)) if ref.shape else 1
+    arr = np.frombuffer(shm.buf, dtype=np.dtype(ref.dtype), count=count)
+    return arr.reshape(ref.shape)
+
+
+# ----------------------------------------------------------------------
+# process-pool plumbing (module-level so it pickles by reference)
+# ----------------------------------------------------------------------
+def _pool_init(initializer, initargs) -> None:
+    if initializer is not None:
+        initializer(*initargs)
+
+
+def _process_call(item):
+    """Run one task in a pool worker; never raises.
+
+    Returns ``(pid, t0, t1, ok, result_or_exc)``: the parent re-raises
+    failures in payload order (deterministic attribution) and records
+    the ``[t0, t1]`` interval as an external span on the worker's trace
+    lane — ``time.perf_counter`` is CLOCK_MONOTONIC on Linux, shared
+    across processes, so child timestamps land on the parent timeline.
+    """
+    fn, payload = item
+    t0 = time.perf_counter()
+    try:
+        result = fn(payload)
+        return (os.getpid(), t0, time.perf_counter(), True, result)
+    except Exception as exc:
+        return (os.getpid(), t0, time.perf_counter(), False, exc)
+
+
+class RankExecutor:
+    """Dispatch independent rank-local tasks onto a worker backend.
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"``, ``"thread"`` or ``"process"``.
+    workers:
+        Worker count (must be >= 1).  Sets the work *partition* for
+        every backend; the serial backend runs that same partition as
+        an ordered loop, so ``workers`` alone determines the float
+        reassociation and the backends agree bitwise.
+    initializer, initargs:
+        Run once in every process-pool worker after fork (e.g. to build
+        the worker's private short-range solver).  Ignored by the other
+        backends, whose tasks can see the caller's objects directly.
+
+    Notes
+    -----
+    Pools are created lazily on first dispatch and persist until
+    :meth:`close` — per-step dispatch reuses warm workers, warm shared
+    memory and (in-process) warm NumPy buffers.  The executor is also a
+    context manager.
+    """
+
+    def __init__(
+        self,
+        backend: str = "serial",
+        workers: int = 1,
+        initializer: Callable | None = None,
+        initargs: tuple = (),
+    ) -> None:
+        if backend not in EXECUTOR_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {EXECUTOR_BACKENDS}, "
+                f"got {backend!r}"
+            )
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1: {workers}")
+        self.backend = backend
+        self.workers = int(workers)
+        self._initializer = initializer
+        self._initargs = tuple(initargs)
+        self._threads: ThreadPoolExecutor | None = None
+        self._pool = None
+        self._shared: dict[str, tuple] = {}  # key -> (shm, handle)
+        self._lanes: dict[int, int] = {}  # thread ident / pid -> lane
+        self._lane_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_config(
+        cls,
+        config,
+        initializer: Callable | None = None,
+        initargs: tuple = (),
+    ) -> "RankExecutor":
+        """Build from ``config.executor`` / ``config.workers``."""
+        return cls(
+            backend=getattr(config, "executor", "serial"),
+            workers=getattr(config, "workers", 1),
+            initializer=initializer,
+            initargs=initargs,
+        )
+
+    @property
+    def n_workers(self) -> int:
+        """Partition width — identical across backends by design."""
+        return self.workers
+
+    @property
+    def parallel(self) -> bool:
+        """True when dispatch should fan work out (workers > 1)."""
+        return self.n_workers > 1
+
+    # ------------------------------------------------------------------
+    # lanes
+    # ------------------------------------------------------------------
+    def _lane(self, key: int) -> int:
+        """Stable worker-lane id for a thread ident or child pid."""
+        with self._lane_lock:
+            lane = self._lanes.get(key)
+            if lane is None:
+                lane = WORKER_LANE_BASE + len(self._lanes)
+                self._lanes[key] = lane
+            return lane
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def map(
+        self,
+        fn: Callable,
+        payloads: Sequence,
+        *,
+        ranks: Sequence[int] | None = None,
+        label: str = "executor.task",
+    ) -> list:
+        """Run ``fn(payload)`` for every payload; results in input order.
+
+        ``ranks`` names the simulated rank behind each payload for error
+        attribution and defaults to the payload index.  For the process
+        backend ``fn`` must be a module-level (picklable) function and
+        payload arrays should go through :meth:`share`.  The first
+        failing task *in payload order* is re-raised as
+        :class:`WorkerError`.
+        """
+        payloads = list(payloads)
+        if ranks is None:
+            ranks = range(len(payloads))
+        ranks = [int(r) for r in ranks]
+        if len(ranks) != len(payloads):
+            raise ValueError(
+                f"{len(ranks)} ranks for {len(payloads)} payloads"
+            )
+        if not payloads:
+            return []
+        if self.backend == "process":
+            return self._map_process(fn, payloads, ranks, label)
+        if self.backend == "thread" and self.workers > 1:
+            return self._map_thread(fn, payloads, ranks, label)
+        return self._map_serial(fn, payloads, ranks, label)
+
+    def map_inprocess(
+        self,
+        fn: Callable,
+        payloads: Sequence,
+        *,
+        ranks: Sequence[int] | None = None,
+        label: str = "executor.task",
+    ) -> list:
+        """Like :meth:`map` but never crosses a process boundary.
+
+        For sections whose operands are large in-process arrays that are
+        cheap to compute but expensive to ship (the three gradient
+        inverse FFTs, the CIC gathers): the thread backend still runs
+        them concurrently, the process backend falls back to the ordered
+        in-thread loop rather than pickling grids both ways.
+        """
+        payloads = list(payloads)
+        if ranks is None:
+            ranks = range(len(payloads))
+        ranks = [int(r) for r in ranks]
+        if not payloads:
+            return []
+        if self.backend == "thread" and self.workers > 1:
+            return self._map_thread(fn, payloads, ranks, label)
+        return self._map_serial(fn, payloads, ranks, label)
+
+    # -- serial ---------------------------------------------------------
+    def _map_serial(self, fn, payloads, ranks, label) -> list:
+        out = []
+        for rank, payload in zip(ranks, payloads):
+            try:
+                out.append(fn(payload))
+            except WorkerError:
+                raise
+            except Exception as exc:
+                raise WorkerError(rank, exc) from exc
+        return out
+
+    # -- thread ---------------------------------------------------------
+    def _ensure_threads(self) -> ThreadPoolExecutor:
+        if self._threads is None:
+            if self._closed:
+                raise RuntimeError("executor is closed")
+            self._threads = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="repro-exec",
+            )
+        return self._threads
+
+    def _map_thread(self, fn, payloads, ranks, label) -> list:
+        pool = self._ensure_threads()
+
+        def task(payload):
+            reg = get_registry()
+            if reg.enabled:
+                lane = self._lane(threading.get_ident())
+                with reg.span(label, rank=lane):
+                    return fn(payload)
+            return fn(payload)
+
+        futures = [pool.submit(task, p) for p in payloads]
+        out, failure = [], None
+        for rank, fut in zip(ranks, futures):
+            exc = fut.exception()
+            if exc is not None and failure is None:
+                failure = (rank, exc)
+                out.append(None)
+            else:
+                out.append(None if exc is not None else fut.result())
+        if failure is not None:
+            rank, exc = failure
+            if isinstance(exc, WorkerError):
+                raise exc
+            raise WorkerError(rank, exc) from exc
+        return out
+
+    # -- process --------------------------------------------------------
+    def _ensure_pool(self):
+        if self._pool is None:
+            if self._closed:
+                raise RuntimeError("executor is closed")
+            import multiprocessing as mp
+
+            try:
+                ctx = mp.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX fallback
+                ctx = mp.get_context("spawn")
+            self._pool = ctx.Pool(
+                processes=self.workers,
+                initializer=_pool_init,
+                initargs=(self._initializer, self._initargs),
+            )
+        return self._pool
+
+    def _map_process(self, fn, payloads, ranks, label) -> list:
+        pool = self._ensure_pool()
+        pending = [
+            pool.apply_async(_process_call, ((fn, p),)) for p in payloads
+        ]
+        reg = get_registry()
+        out, failure = [], None
+        for rank, res in zip(ranks, pending):
+            pid, t0, t1, ok, value = res.get()
+            if reg.enabled:
+                reg.record_external(label, t0, t1, rank=self._lane(pid))
+            if not ok and failure is None:
+                failure = (rank, value)
+            out.append(value if ok else None)
+        if failure is not None:
+            rank, exc = failure
+            if isinstance(exc, WorkerError):
+                raise exc
+            raise WorkerError(rank, exc) from exc
+        return out
+
+    # ------------------------------------------------------------------
+    # shared arrays
+    # ------------------------------------------------------------------
+    def share(self, key: str, array: np.ndarray):
+        """Publish an array to the workers under ``key``.
+
+        Serial/thread backends share the caller's memory directly (the
+        return value *is* the array).  The process backend copies into a
+        named shared-memory block — reused across steps while the shape
+        and dtype are stable, reallocated otherwise — and returns a
+        picklable :class:`SharedArrayHandle`.  Only call between
+        dispatches: workers read the block while tasks are in flight.
+        """
+        array = np.ascontiguousarray(array)
+        if self.backend != "process":
+            return array
+        entry = self._shared.get(key)
+        if entry is not None:
+            shm, handle = entry
+            if (
+                handle.shape == array.shape
+                and np.dtype(handle.dtype) == array.dtype
+            ):
+                np.frombuffer(shm.buf, dtype=array.dtype)[
+                    :
+                ] = array.ravel()
+                return handle
+            self._release_shared(key)
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(
+            create=True,
+            size=max(int(array.nbytes), 1),
+            name=(
+                f"repro-{os.getpid()}-{key.replace('/', '_')}-"
+                f"{next(_HANDLE_COUNTER)}"
+            ),
+        )
+        np.frombuffer(shm.buf, dtype=array.dtype, count=array.size)[
+            :
+        ] = array.ravel()
+        handle = SharedArrayHandle(
+            name=shm.name, shape=tuple(array.shape), dtype=str(array.dtype)
+        )
+        self._shared[key] = (shm, handle)
+        return handle
+
+    def _release_shared(self, key: str) -> None:
+        shm, _ = self._shared.pop(key)
+        try:
+            shm.close()
+            shm.unlink()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Tear down pools and release shared-memory blocks (idempotent)."""
+        self._closed = True
+        if self._threads is not None:
+            self._threads.shutdown(wait=True)
+            self._threads = None
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        for key in list(self._shared):
+            self._release_shared(key)
+
+    def __enter__(self) -> "RankExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RankExecutor(backend={self.backend!r}, "
+            f"workers={self.workers})"
+        )

@@ -48,6 +48,12 @@ class ShortRangeKernel:
     dtype:
         np.float64 (default) or np.float32 for the paper's mixed
         precision.
+    mirror_counters:
+        ``True`` (default) mirrors every interaction into the active
+        instrument registry.  Executor *worker clones* set ``False``:
+        ``Counter.add`` and the registry are not safe against concurrent
+        writers, so workers keep a private tally and the driver charges
+        the authoritative counters from the task results, in rank order.
 
     Notes
     -----
@@ -61,6 +67,7 @@ class ShortRangeKernel:
     spacing: float
     eps_cells: float = 0.01
     dtype: type = np.float64
+    mirror_counters: bool = True
 
     def __post_init__(self) -> None:
         if self.spacing <= 0:
@@ -188,6 +195,9 @@ class ShortRangeKernel:
         Shared by the per-leaf path and the batched engine so both report
         the identical ``pp.interactions`` number for the same lists.
         """
+        if not self.mirror_counters:
+            self._interactions.value += n  # private tally, no registry
+            return
         self._interactions.add(n)
         get_registry().count("pp.flops", FLOPS_PER_INTERACTION * n)
 

@@ -37,6 +37,9 @@ __all__ = [
     "DirectShortRange",
     "TreePMShortRange",
     "P3MShortRange",
+    "build_solver",
+    "solver_spec",
+    "solver_from_spec",
 ]
 
 
@@ -89,6 +92,74 @@ def periodic_ghosts(
     return (
         np.concatenate([pos, ghost_pos], axis=0),
         np.concatenate([m, m[pid]]),
+    )
+
+
+def build_solver(
+    backend: str,
+    kernel: ShortRangeKernel,
+    *,
+    leaf_size: int = 128,
+    naive: bool = False,
+    chunk_pairs: int = DEFAULT_CHUNK_PAIRS,
+) -> "ShortRangeSolver":
+    """Construct the short-range backend named by ``backend``.
+
+    The single construction switch shared by the simulation driver and
+    by executor worker initialization, so both always build the same
+    solver for the same configuration.
+    """
+    if backend == "treepm":
+        return TreePMShortRange(
+            kernel, leaf_size=leaf_size, naive=naive, chunk_pairs=chunk_pairs
+        )
+    if backend == "p3m":
+        return P3MShortRange(kernel, naive=naive, chunk_pairs=chunk_pairs)
+    if backend == "direct":
+        return DirectShortRange(kernel)
+    raise ValueError(f"unknown short-range backend {backend!r}")
+
+
+def solver_spec(backend: str, kernel: ShortRangeKernel, **kwargs) -> dict:
+    """Picklable recipe for rebuilding a solver in an executor worker.
+
+    Captures the kernel's *parameters* (fit, spacing, softening, dtype)
+    rather than the kernel object, so every worker builds a private
+    kernel — and with it private counters and a private
+    :class:`~repro.shortrange.batch.Workspace`; engine buffers are
+    grow-only and not safe to share between concurrent evaluations.
+    """
+    return {
+        "backend": backend,
+        "fit": kernel.fit,
+        "spacing": kernel.spacing,
+        "eps_cells": kernel.eps_cells,
+        "dtype": kernel.dtype,
+        **kwargs,
+    }
+
+
+def solver_from_spec(spec: dict) -> "ShortRangeSolver":
+    """Build a *worker clone* solver from a :func:`solver_spec` recipe.
+
+    The clone's kernel has ``mirror_counters=False``: it tallies
+    interactions privately (per-task deltas) and the driver charges the
+    authoritative counters from the results in rank order, keeping the
+    global count identical to a serial run.
+    """
+    kernel = ShortRangeKernel(
+        spec["fit"],
+        spec["spacing"],
+        eps_cells=spec["eps_cells"],
+        dtype=spec["dtype"],
+        mirror_counters=False,
+    )
+    return build_solver(
+        spec["backend"],
+        kernel,
+        leaf_size=spec.get("leaf_size", 128),
+        naive=spec.get("naive", False),
+        chunk_pairs=spec.get("chunk_pairs", DEFAULT_CHUNK_PAIRS),
     )
 
 

@@ -1,0 +1,430 @@
+"""Tests for the shared-memory rank executor (``repro.parallel.executor``).
+
+Covers the executor unit surface (backends, ordered results, shared
+arrays, failure attribution, lifecycle), the wiring into the threaded
+CIC deposit and the Poisson solver, and the headline guarantee of the
+parallel-executor PR: **equal-``workers`` runs are bit-identical across
+the serial, thread and process backends**, because the work partition
+depends only on the worker count and every reduction happens in the
+parent in fixed order.
+
+Under the ``chaos`` marker the rank-death recovery story is re-run with
+the fleet dispatched on ``REPRO_CHAOS_WORKERS`` workers (default 4),
+pinning that fault injection and the parallel dispatch compose.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.core.simulation import HACCSimulation
+from repro.grid.cic import cic_deposit
+from repro.grid.poisson import SpectralPoissonSolver
+from repro.grid.threaded_cic import ThreadedCIC
+from repro.instrument import get_telemetry
+from repro.instrument.registry import disable as disable_registry
+from repro.instrument.registry import enable as enable_registry
+from repro.instrument.telemetry import run_manifest
+from repro.parallel.executor import (
+    EXECUTOR_BACKENDS,
+    WORKER_LANE_BASE,
+    RankExecutor,
+    SharedArrayHandle,
+    WorkerError,
+    resolve_shared,
+)
+from repro.resilience import FaultPlan, use_faults
+
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "2012"))
+CHAOS_WORKERS = int(os.environ.get("REPRO_CHAOS_WORKERS", "4"))
+
+BOX = 64.0
+DIMS = (2, 1, 1)
+DEPTH = 14.0
+
+
+def tiny_config(workers: int = 1, executor: str = "serial",
+                **overrides) -> SimulationConfig:
+    base = dict(
+        box_size=BOX,
+        n_per_dim=8,
+        z_initial=20.0,
+        z_final=5.0,
+        n_steps=2,
+        n_subcycles=2,
+        backend="treepm",
+        seed=11,
+        workers=workers,
+        executor=executor,
+    )
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+def make_sim(cfg: SimulationConfig) -> HACCSimulation:
+    return HACCSimulation(
+        cfg, decomposition_dims=DIMS, overload_depth=DEPTH
+    )
+
+
+def run_sim(workers: int, executor: str, plan=None, **overrides):
+    """Run a tiny simulation; return (positions, momenta, interactions)."""
+    cfg = tiny_config(workers=workers, executor=executor, **overrides)
+    if plan is not None:
+        with use_faults(plan):
+            sim = make_sim(cfg)
+            sim.run()
+    else:
+        sim = make_sim(cfg)
+        sim.run()
+    out = (
+        sim.particles.positions.copy(),
+        sim.particles.momenta.copy(),
+        sim.interaction_count(),
+    )
+    sim.close()
+    return out
+
+
+# module-level task functions: the process backend pickles by reference
+def _double(x):
+    return 2 * x
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise ValueError("payload three is poison")
+    return x
+
+
+def _read_shared(payload):
+    ref, i = payload
+    return float(resolve_shared(ref)[i])
+
+
+# ----------------------------------------------------------------------
+# executor unit surface
+# ----------------------------------------------------------------------
+class TestRankExecutor:
+    def test_backend_validation(self):
+        with pytest.raises(ValueError, match="backend"):
+            RankExecutor(backend="gpu")
+        with pytest.raises(ValueError, match="workers"):
+            RankExecutor(workers=0)
+
+    def test_partition_width_is_backend_independent(self):
+        # the determinism contract hinges on this: the partition (and
+        # hence the float reassociation) is set by `workers` alone
+        for backend in EXECUTOR_BACKENDS:
+            ex = RankExecutor(backend=backend, workers=3)
+            assert ex.n_workers == 3
+            assert ex.parallel
+            ex.close()
+        assert not RankExecutor(backend="thread", workers=1).parallel
+
+    def test_from_config(self):
+        cfg = tiny_config(workers=2, executor="thread")
+        ex = RankExecutor.from_config(cfg)
+        assert ex.backend == "thread"
+        assert ex.workers == 2
+        ex.close()
+
+    @pytest.mark.parametrize("backend", EXECUTOR_BACKENDS)
+    def test_map_preserves_payload_order(self, backend):
+        with RankExecutor(backend=backend, workers=3) as ex:
+            assert ex.map(_double, list(range(7))) == [
+                2 * i for i in range(7)
+            ]
+            assert ex.map(_double, []) == []
+
+    @pytest.mark.parametrize("backend", EXECUTOR_BACKENDS)
+    def test_first_failure_in_payload_order_wins(self, backend):
+        with RankExecutor(backend=backend, workers=3) as ex:
+            with pytest.raises(WorkerError) as err:
+                ex.map(
+                    _fail_on_three, [3, 0, 3, 1], ranks=[7, 8, 9, 10]
+                )
+        # both rank 7 and rank 9 fail; the first in payload order is
+        # reported, deterministically, whatever finished first
+        assert err.value.rank == 7
+        assert isinstance(err.value.original, ValueError)
+
+    def test_rank_length_mismatch_rejected(self):
+        with RankExecutor() as ex:
+            with pytest.raises(ValueError, match="ranks"):
+                ex.map(_double, [1, 2], ranks=[0])
+
+    def test_map_inprocess_orders_and_raises(self):
+        with RankExecutor(backend="thread", workers=2) as ex:
+            assert ex.map_inprocess(_double, [1, 2, 3]) == [2, 4, 6]
+            with pytest.raises(WorkerError) as err:
+                ex.map_inprocess(_fail_on_three, [0, 3])
+            assert err.value.rank == 1
+
+    def test_share_inprocess_returns_the_array(self):
+        arr = np.arange(5, dtype=np.float64)
+        for backend in ("serial", "thread"):
+            with RankExecutor(backend=backend, workers=2) as ex:
+                out = ex.share("k", arr)
+                assert isinstance(out, np.ndarray)
+                assert np.shares_memory(out, arr)
+
+    def test_share_process_roundtrip(self):
+        arr = np.linspace(0.0, 1.0, 9)
+        with RankExecutor(backend="process", workers=2) as ex:
+            ref = ex.share("k", arr)
+            assert isinstance(ref, SharedArrayHandle)
+            assert ref.shape == (9,)
+            # parent-side resolve sees the published values
+            assert np.array_equal(resolve_shared(ref), arr)
+            # child-side resolve too
+            out = ex.map(_read_shared, [(ref, i) for i in range(9)])
+            assert out == list(arr)
+
+    def test_share_reuses_block_until_shape_changes(self):
+        with RankExecutor(backend="process", workers=2) as ex:
+            a = ex.share("k", np.zeros(4))
+            b = ex.share("k", np.ones(4))
+            assert a.name == b.name  # rewritten in place
+            assert np.array_equal(resolve_shared(b), np.ones(4))
+            c = ex.share("k", np.ones(6))
+            assert c.name != a.name  # reallocated
+
+    def test_close_is_idempotent(self):
+        ex = RankExecutor(backend="thread", workers=2)
+        ex.map(_double, [1])
+        ex.close()
+        ex.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            ex.map(_double, [1])
+
+
+# ----------------------------------------------------------------------
+# threaded CIC through the executor (satellite: Section VI wiring)
+# ----------------------------------------------------------------------
+class TestThreadedCICExecutor:
+    N, GRID = 500, 12
+
+    def _cloud(self):
+        rng = np.random.default_rng(5)
+        pos = rng.uniform(0.0, BOX, (self.N, 3))
+        w = rng.uniform(0.5, 1.5, self.N)
+        return pos, w
+
+    @pytest.mark.parametrize("backend", EXECUTOR_BACKENDS)
+    def test_executor_deposit_matches_sequential_simulation(self, backend):
+        pos, w = self._cloud()
+        expected = ThreadedCIC(3).deposit(pos, self.GRID, BOX, w)
+        with RankExecutor(backend=backend, workers=3) as ex:
+            tc = ThreadedCIC(3, executor=ex)
+            got = tc.deposit(pos, self.GRID, BOX, w)
+        # identical partition + fixed-order reduction => bitwise equal
+        assert np.array_equal(got, expected)
+        assert tc.last_report.n_workers == 3
+
+    def test_deposit_close_to_plain_cic(self):
+        pos, w = self._cloud()
+        plain = cic_deposit(pos, self.GRID, BOX, w)
+        with RankExecutor(backend="thread", workers=4) as ex:
+            got = ThreadedCIC(4, executor=ex).deposit(
+                pos, self.GRID, BOX, w
+            )
+        # reassociated sums: equal to round-off, not bitwise
+        np.testing.assert_allclose(got, plain, rtol=0, atol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Poisson solver through the executor
+# ----------------------------------------------------------------------
+class TestPoissonParallel:
+    def _cloud(self, n=400):
+        rng = np.random.default_rng(9)
+        return rng.uniform(0.0, BOX, (n, 3))
+
+    def test_force_grids_bitwise_across_backends(self):
+        rng = np.random.default_rng(2)
+        delta = rng.standard_normal((8, 8, 8))
+        plain = SpectralPoissonSolver(8, BOX).force_grids(delta)
+        for backend in ("thread", "process"):
+            with RankExecutor(backend=backend, workers=3) as ex:
+                s = SpectralPoissonSolver(8, BOX, executor=ex)
+                got = s.force_grids(delta)
+            for g, p in zip(got, plain):
+                # the gradient FFTs are independent per component: the
+                # parallel path reorders nothing, so even the serial
+                # no-executor solver matches bitwise
+                assert np.array_equal(g, p)
+
+    def test_accelerations_bitwise_across_backends(self):
+        pos = self._cloud()
+        outs = {}
+        for backend in EXECUTOR_BACKENDS:
+            with RankExecutor(backend=backend, workers=3) as ex:
+                s = SpectralPoissonSolver(8, BOX, executor=ex)
+                outs[backend] = s.accelerations(pos)
+        assert np.array_equal(outs["serial"], outs["thread"])
+        assert np.array_equal(outs["serial"], outs["process"])
+
+    def test_accelerations_close_to_unpartitioned(self):
+        pos = self._cloud()
+        plain = SpectralPoissonSolver(8, BOX).accelerations(pos)
+        with RankExecutor(backend="thread", workers=3) as ex:
+            got = SpectralPoissonSolver(8, BOX, executor=ex).accelerations(
+                pos
+            )
+        scale = np.abs(plain).max()
+        np.testing.assert_allclose(got, plain, atol=1e-12 * max(scale, 1))
+
+    def test_negated_gradient_kernels_precomputed(self):
+        from repro.cosmology.gaussian_field import fourier_grid
+        from repro.grid.filters import super_lanczos_gradient
+
+        s = SpectralPoissonSolver(8, BOX)
+        kx, _, _ = fourier_grid(8, BOX)
+        direct = super_lanczos_gradient(kx, s.spacing, s.gradient_order)
+        assert np.array_equal(s._neg_grad_kernels[0], -direct)
+
+
+# ----------------------------------------------------------------------
+# the headline guarantee: bit-identical trajectories across backends
+# ----------------------------------------------------------------------
+class TestSimulationDeterminism:
+    def test_backends_bit_identical_at_equal_workers(self):
+        ref_pos, ref_mom, ref_int = run_sim(4, "serial")
+        for backend in ("thread", "process"):
+            pos, mom, n_int = run_sim(4, backend)
+            assert np.array_equal(pos, ref_pos), backend
+            assert np.array_equal(mom, ref_mom), backend
+            assert n_int == ref_int, backend
+
+    def test_worker_count_changes_only_roundoff(self):
+        p1, _, i1 = run_sim(1, "serial")
+        p4, _, i4 = run_sim(4, "serial")
+        # the pair lists (hence interaction counts) are partition
+        # independent; positions drift only by CIC-reduction round-off
+        assert i1 == i4
+        diff = np.abs(p4 - p1)
+        diff = np.minimum(diff, BOX - diff)
+        assert np.max(diff) < 1e-9
+
+    def test_manifest_records_executor_and_workers(self):
+        cfg = tiny_config(workers=4, executor="thread")
+        man = run_manifest(cfg)
+        assert man["executor"] == "thread"
+        assert man["workers"] == 4
+        assert man["config"]["executor"] == "thread"
+
+    def test_config_validates_executor_fields(self):
+        with pytest.raises(ValueError, match="executor"):
+            tiny_config(executor="gpu")
+        with pytest.raises(ValueError, match="workers"):
+            tiny_config(workers=0)
+
+
+# ----------------------------------------------------------------------
+# failure propagation out of the fleet
+# ----------------------------------------------------------------------
+class TestWorkerFailure:
+    def test_worker_exception_names_the_failing_rank(self, monkeypatch):
+        import repro.core.simulation as simmod
+
+        real = simmod._solve_domain
+
+        def poisoned(solver, rank, positions, masses, active):
+            if rank == 1:
+                raise RuntimeError("domain solver blew up")
+            return real(solver, rank, positions, masses, active)
+
+        monkeypatch.setattr(simmod, "_solve_domain", poisoned)
+        sim = make_sim(tiny_config(workers=CHAOS_WORKERS, executor="thread"))
+        try:
+            with pytest.raises(WorkerError) as err:
+                sim.step()
+            assert err.value.rank == 1
+            assert "domain solver blew up" in str(err.value)
+        finally:
+            sim.close()
+
+
+# ----------------------------------------------------------------------
+# trace lanes
+# ----------------------------------------------------------------------
+class TestWorkerTraceLanes:
+    def test_chrome_trace_labels_worker_lanes(self, tmp_path):
+        from repro.instrument import exporters
+
+        reg = enable_registry()
+        try:
+            with RankExecutor(backend="thread", workers=2) as ex:
+                ex.map(_double, list(range(8)), label="shortrange.domain")
+            path = tmp_path / "trace.json"
+            exporters.write_chrome_trace(reg, path)
+        finally:
+            disable_registry()
+        raw = json.loads(path.read_text())
+        names = {
+            e["args"]["name"]
+            for e in raw["traceEvents"]
+            if e.get("name") == "process_name"
+        }
+        assert any(n.startswith("worker ") for n in names)
+        lanes = {
+            e["pid"]
+            for e in raw["traceEvents"]
+            if e.get("name") == "shortrange.domain"
+        }
+        assert lanes and all(l >= WORKER_LANE_BASE for l in lanes)
+
+    def test_record_external_lands_in_aggregates(self):
+        reg = enable_registry()
+        try:
+            reg.record_external("shortrange.domain", 10.0, 10.5, rank=1001)
+            assert reg.section_seconds("shortrange.domain") == (
+                pytest.approx(0.5)
+            )
+            with pytest.raises(ValueError):
+                reg.record_external("x", 2.0, 1.0)
+        finally:
+            disable_registry()
+
+
+# ----------------------------------------------------------------------
+# chaos lane: fault injection composes with parallel dispatch
+# ----------------------------------------------------------------------
+@pytest.mark.chaos
+class TestChaosParallel:
+    def test_rank_death_recovered_under_parallel_fleet(self):
+        plan = FaultPlan(seed=CHAOS_SEED).with_rank_death(step=1, rank=1)
+        cfg = tiny_config(
+            workers=CHAOS_WORKERS, executor="thread", n_steps=3
+        )
+        with use_faults(plan):
+            sim = make_sim(cfg)
+            sim.run()
+        try:
+            assert plan.injected["rank_death"] == 1
+            assert plan.recovered["rank_death"] == 1
+            assert len(sim.recovery_reports) == 1
+            assert sim.recovery_reports[0].dead_ranks == (1,)
+        finally:
+            sim.close()
+
+    def test_recovered_chaos_run_is_backend_independent(self):
+        def chaotic(executor):
+            plan = FaultPlan(seed=CHAOS_SEED).with_rank_death(
+                step=1, rank=1
+            )
+            return run_sim(
+                CHAOS_WORKERS, executor, plan=plan, n_steps=3
+            )
+
+        ref_pos, ref_mom, _ = chaotic("serial")
+        for backend in ("thread", "process"):
+            pos, mom, _ = chaotic(backend)
+            assert np.array_equal(pos, ref_pos), backend
+            assert np.array_equal(mom, ref_mom), backend
