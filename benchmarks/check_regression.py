@@ -20,6 +20,15 @@ First run (or after an intentional perf change)::
 
 Non-gated records are reported informationally; records without a
 baseline counterpart are noted but never fail the gate.
+
+Instead of a baseline *directory*, the baseline can come straight out of
+the run ledger (``python -m repro runs``): ``--baseline-ledger DIR``
+selects a ledger root and ``--baseline-run TOKEN`` a run in it (run id,
+unique prefix, ``latest``, ``latest~N``; default ``latest``), and the
+BENCH records stored with that run become the baseline set.  The gate
+then compares today's numbers against a *specific, provenance-stamped*
+run (config hash, seed, git revision) rather than whatever was last
+copied into ``records/baseline/``.
 """
 
 from __future__ import annotations
@@ -50,6 +59,25 @@ def load_records(directory: Path) -> dict[str, dict]:
         name = rec.get("name", path.stem)
         out[name] = rec
     return out
+
+
+def load_ledger_baseline(
+    ledger_root: Path, token: str
+) -> tuple[dict[str, dict], str]:
+    """Baseline records from a ledgered run: ``({name: rec}, run_id)``.
+
+    Imports :mod:`repro` lazily (adding ``src/`` to ``sys.path`` when the
+    script runs without ``PYTHONPATH``) so the directory-baseline path
+    keeps working even if the package is broken.
+    """
+    src = HERE.parent / "src"
+    if str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+    from repro.instrument.store import RunLedger
+
+    ledger = RunLedger(ledger_root)
+    entry = ledger.get(token)
+    return ledger.load_bench(entry), entry.run_id
 
 
 def duration_of(rec: dict) -> float | None:
@@ -170,6 +198,20 @@ def main(argv: list[str] | None = None) -> int:
         help="directory with the baseline records to compare against",
     )
     ap.add_argument(
+        "--baseline-ledger",
+        type=Path,
+        metavar="DIR",
+        help="take the baseline from a run ledger at DIR instead of "
+             "--baseline (see 'python -m repro runs')",
+    )
+    ap.add_argument(
+        "--baseline-run",
+        default="latest",
+        metavar="TOKEN",
+        help="with --baseline-ledger: the baseline run (id, unique "
+             "prefix, 'latest', 'latest~N'; default latest)",
+    )
+    ap.add_argument(
         "--threshold",
         type=float,
         default=0.20,
@@ -228,16 +270,30 @@ def main(argv: list[str] | None = None) -> int:
         print(f"baseline updated: {n} records -> {args.baseline}")
         return 0
 
-    baseline = load_records(args.baseline)
+    if args.baseline_ledger is not None:
+        try:
+            baseline, baseline_id = load_ledger_baseline(
+                args.baseline_ledger, args.baseline_run
+            )
+        except KeyError as exc:
+            print(f"baseline ledger: {exc}")
+            return 1
+        baseline_desc = (
+            f"ledger {args.baseline_ledger} run {baseline_id}"
+        )
+    else:
+        baseline = load_records(args.baseline)
+        baseline_desc = str(args.baseline)
     if not fresh:
         print(f"no records found in {args.records}; run the benchmarks first")
         return 1
     if not baseline:
         print(
-            f"no baseline in {args.baseline}; create one with "
-            "--update-baseline"
+            f"no baseline in {baseline_desc}; create one with "
+            "--update-baseline (or ledger a benchmarked run)"
         )
         return 1
+    print(f"baseline: {baseline_desc}")
 
     failures: list[str] = []
     rank_deaths: list[str] = []

@@ -12,8 +12,10 @@
 # baseline with benchmarks/check_regression.py --check-health
 # --check-speedup (fails on >20% slowdown of a gated bench, a CRIT
 # physics-health verdict, or a short-range executor speedup below 1.7x
-# at 4 workers; an unrecovered rank death exits 2).  Bootstraps the
-# baseline on first run instead of failing.
+# at 4 workers; an unrecovered rank death exits 2).  Finally exercises
+# the observability stack end to end: two small ledgered runs, then
+# 'python -m repro report --compare' must produce a machine-readable
+# JSON comparison with a verdict.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -23,28 +25,51 @@ PYTHON="${PYTHON:-python}"
 export REPRO_CHAOS_SEED="${REPRO_CHAOS_SEED:-2012}"
 export REPRO_CHAOS_WORKERS="${REPRO_CHAOS_WORKERS:-2}"
 
-echo "== 1/6 smoke tests (pytest -m 'not slow') =="
+echo "== 1/7 smoke tests (pytest -m 'not slow') =="
 PYTHONPATH=src "$PYTHON" -m pytest tests -q -m "not slow"
 
-echo "== 2/6 parallel smoke (demo --workers 2) =="
+echo "== 2/7 parallel smoke (demo --workers 2) =="
 PYTHONPATH=src "$PYTHON" -m repro demo --steps 2 --n-per-dim 12 --workers 2
 
-echo "== 3/6 chaos lane (pytest -m chaos, seed $REPRO_CHAOS_SEED) =="
+echo "== 3/7 chaos lane (pytest -m chaos, seed $REPRO_CHAOS_SEED) =="
 PYTHONPATH=src "$PYTHON" -m pytest tests -q -m chaos
 
-echo "== 4/6 chaos lane under $REPRO_CHAOS_WORKERS workers =="
+echo "== 4/7 chaos lane under $REPRO_CHAOS_WORKERS workers =="
 PYTHONPATH=src "$PYTHON" -m pytest tests/test_parallel_executor.py -q -m chaos
 
-echo "== 5/6 fig5 kernel + executor scaling benchmarks =="
+echo "== 5/7 fig5 kernel + executor scaling benchmarks =="
 (cd benchmarks && PYTHONPATH=../src "$PYTHON" -m pytest bench_fig5_kernel_threading.py bench_executor_scaling.py -q)
 
-echo "== 6/6 regression + health + speedup gate =="
+echo "== 6/7 regression + health + speedup gate =="
 if [ ! -d benchmarks/records/baseline ] || \
    ! ls benchmarks/records/baseline/BENCH_*.json >/dev/null 2>&1; then
     echo "no baseline found -- bootstrapping from this run"
     "$PYTHON" benchmarks/check_regression.py --update-baseline
 fi
 "$PYTHON" benchmarks/check_regression.py --check-health --check-speedup
+
+echo "== 7/7 run ledger + critical-path report lane =="
+CI_OBS_DIR="$(mktemp -d)"
+trap 'rm -rf "$CI_OBS_DIR"' EXIT
+PYTHONPATH=src "$PYTHON" -m repro profile --steps 2 --n-per-dim 8 \
+    --telemetry "$CI_OBS_DIR/a.jsonl" --ledger "$CI_OBS_DIR/ledger" \
+    > /dev/null
+PYTHONPATH=src "$PYTHON" -m repro profile --steps 2 --n-per-dim 8 \
+    --workers 2 --executor thread \
+    --telemetry "$CI_OBS_DIR/b.jsonl" --ledger "$CI_OBS_DIR/ledger" \
+    > /dev/null
+PYTHONPATH=src "$PYTHON" -m repro runs list --ledger "$CI_OBS_DIR/ledger"
+PYTHONPATH=src "$PYTHON" -m repro report \
+    --compare latest~1 latest --ledger "$CI_OBS_DIR/ledger" --json \
+    > "$CI_OBS_DIR/report.json"
+"$PYTHON" - "$CI_OBS_DIR/report.json" <<'PYEOF'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+assert rep.get("verdict") in ("OK", "IMPROVED", "REGRESSION"), rep.get("verdict")
+assert rep.get("phases"), "comparison has no phases"
+print(f"report lane: verdict {rep['verdict']}, "
+      f"{len(rep['phases'])} phases compared")
+PYEOF
 
 echo "ci_check: all gates passed"
 

@@ -667,13 +667,38 @@ class HACCSimulation:
             self.particles.n, self.config.n_steps,
             self.config.n_subcycles, self.config.backend,
         )
-        while self._step_index < self.config.n_steps:
-            self.step()
-            if callback is not None:
-                callback(self)
-            if checkpointer is not None:
-                final = self._step_index >= self.config.n_steps
-                checkpointer.maybe_checkpoint(self, force=final)
+        try:
+            while self._step_index < self.config.n_steps:
+                self.step()
+                if callback is not None:
+                    callback(self)
+                if checkpointer is not None:
+                    final = self._step_index >= self.config.n_steps
+                    checkpointer.maybe_checkpoint(self, force=final)
+        except BaseException as exc:
+            self._flush_telemetry_on_crash(exc)
+            raise
+
+    def _flush_telemetry_on_crash(self, exc: BaseException) -> None:
+        """Leave an analyzable stream behind when the driver dies.
+
+        A crashed run is exactly the one whose telemetry matters most:
+        write the ``end`` record (verdict ``CRASHED``, the exception, the
+        step reached) and close the stream, so ``monitor`` and the run
+        ledger see a complete — if short — stream instead of a dangling
+        file.  Never raises: the original exception must propagate.
+        """
+        try:
+            tel = get_telemetry()
+            if tel.enabled and tel.stream is not None \
+                    and not tel.stream.closed:
+                tel.finish(
+                    verdict="CRASHED",
+                    error=f"{type(exc).__name__}: {exc}",
+                    crashed_at_step=self._step_index,
+                )
+        except Exception:  # pragma: no cover - best-effort teardown
+            logger.exception("telemetry flush on crash failed")
 
     # ------------------------------------------------------------------
     # diagnostics

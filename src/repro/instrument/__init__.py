@@ -69,6 +69,21 @@ from repro.instrument.health import (
     SimulationHealth,
     Threshold,
 )
+from repro.instrument.telemetry import StreamFollower
+from repro.instrument.store import (
+    RunEntry,
+    RunLedger,
+    default_ledger_root,
+    git_revision,
+)
+from repro.instrument.analysis import (
+    RunAnalysis,
+    RunComparison,
+    analyze,
+    compare,
+    render_analysis,
+    render_comparison,
+)
 
 __all__ = [
     "Counter",
@@ -79,13 +94,24 @@ __all__ = [
     "NullRegistry",
     "NullTelemetry",
     "Registry",
+    "RunAnalysis",
+    "RunComparison",
+    "RunEntry",
+    "RunLedger",
     "RunStream",
     "SimulationHealth",
     "SpanEvent",
     "StepRecord",
     "StepTelemetry",
+    "StreamFollower",
     "Telemetry",
     "Threshold",
+    "analyze",
+    "compare",
+    "default_ledger_root",
+    "git_revision",
+    "render_analysis",
+    "render_comparison",
     "count",
     "disable",
     "disable_telemetry",

@@ -10,7 +10,13 @@ from __future__ import annotations
 
 from repro.instrument.telemetry import read_stream, sparkline
 
-__all__ = ["render_monitor", "monitor_exit_status", "pick_imbalance_series"]
+__all__ = [
+    "render_monitor",
+    "render_dashboard",
+    "monitor_exit_status",
+    "dashboard_exit_status",
+    "pick_imbalance_series",
+]
 
 #: gauge preference order for the headline imbalance sparkline — particle
 #: counts are the paper's primary balance measure, interactions the
@@ -159,15 +165,88 @@ def render_monitor(data: dict, width: int = 32) -> str:
 
 
 def monitor_exit_status(data: dict) -> int:
-    """Shell status for a monitored stream: 2 on any CRIT, else 0."""
+    """Shell status for a monitored stream: 2 on CRIT/CRASHED, else 0."""
     end = data.get("end")
-    if end is not None and end.get("verdict") == "CRIT":
+    if end is not None and end.get("verdict") in ("CRIT", "CRASHED"):
         return 2
     for step in data.get("steps") or []:
         for al in step.get("alerts", []):
             if al.get("severity") == "CRIT":
                 return 2
     return 0
+
+
+# ----------------------------------------------------------------------
+# multi-run dashboard
+# ----------------------------------------------------------------------
+def _run_row(name: str, data: dict) -> tuple[str, ...]:
+    manifest = data.get("manifest") or {}
+    steps = data.get("steps") or []
+    end = data.get("end")
+    total = int(manifest.get("n_steps") or 0)
+    done = len(steps)
+    if total:
+        progress = f"{done}/{total} ({100 * done // total}%)"
+    else:
+        progress = str(done)
+    z = f"{steps[-1].get('z', 0.0):.2f}" if steps else "-"
+    elapsed = _fmt_duration(
+        sum(float(s.get("wall_time", 0.0)) for s in steps)
+    )
+    _, series = pick_imbalance_series(steps)
+    imbal = f"{series[-1]:.2f}" if series else "-"
+    alerts = [al for s in steps for al in s.get("alerts", [])]
+    n_warn = sum(1 for al in alerts if al.get("severity") == "WARN")
+    n_crit = sum(1 for al in alerts if al.get("severity") == "CRIT")
+    if end is not None:
+        status = end.get("verdict", "OK")
+    else:
+        status = "running"
+    ident = manifest.get("config_hash") or ""
+    workers = manifest.get("workers")
+    executor = manifest.get("executor")
+    if executor and workers:
+        ident = f"{ident} {executor}@{workers}w".strip()
+    return (
+        name,
+        ident or "-",
+        progress,
+        z,
+        elapsed,
+        imbal,
+        f"{n_warn}W/{n_crit}C",
+        status,
+    )
+
+
+def render_dashboard(runs: list[tuple[str, dict]]) -> str:
+    """Render the fleet view: one row per run, aligned columns.
+
+    ``runs`` is ``[(display_name, parsed_stream), ...]`` — the
+    multi-stream form of ``python -m repro monitor`` and the campaign
+    dashboard ROADMAP item 1 aggregates over.
+    """
+    header = ("run", "config", "step", "z", "elapsed", "imbal",
+              "alerts", "status")
+    rows = [_run_row(name, data) for name, data in runs]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows)) if rows
+        else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths))]
+    for r in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    n_done = sum(1 for _, d in runs if d.get("end") is not None)
+    lines.append(f"{n_done}/{len(runs)} run(s) finished")
+    return "\n".join(lines)
+
+
+def dashboard_exit_status(runs: list[tuple[str, dict]]) -> int:
+    """Worst per-run exit status across the fleet."""
+    return max(
+        (monitor_exit_status(data) for _, data in runs), default=0
+    )
 
 
 def monitor_file(path, width: int = 32) -> tuple[str, int]:

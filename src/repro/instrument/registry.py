@@ -193,7 +193,12 @@ class NullRegistry:
         return None
 
     def record_external(
-        self, name: str, start: float, end: float, rank: int = 0
+        self,
+        name: str,
+        start: float,
+        end: float,
+        rank: int = 0,
+        path: str | None = None,
     ) -> None:
         return None
 
@@ -320,25 +325,34 @@ class Registry:
             self._counters[name] = self._counters.get(name, 0) + value
 
     def record_external(
-        self, name: str, start: float, end: float, rank: int = 0
+        self,
+        name: str,
+        start: float,
+        end: float,
+        rank: int = 0,
+        path: str | None = None,
     ) -> None:
         """Record a span measured outside this registry's span stack.
 
         Used for work timed in executor worker *processes*: the child
         measures ``[start, end]`` against the shared monotonic clock and
         the parent deposits the interval here, attributed to the
-        worker's trace lane.  The event is a root-level span (no nesting
-        path) and feeds the same section aggregates as :meth:`span`.
+        worker's trace lane.  ``path`` preserves the nesting the child
+        observed (prefixed by the dispatch label, so worker span trees
+        hang under the task envelope); it defaults to ``name``, a
+        root-level span.  Either way the event feeds the same section
+        aggregates as :meth:`span`.
         """
         if end < start:
             raise ValueError(f"span ends before it starts: {start}..{end}")
         duration = end - start
+        path = name if path is None else path
         with self._lock:
             if len(self._events) < self.max_events:
                 self._events.append(
                     SpanEvent(
                         name=name,
-                        path=name,
+                        path=path,
                         start=start,
                         end=end,
                         thread=threading.get_ident(),
@@ -349,7 +363,7 @@ class Registry:
                 self.dropped_events += 1
             for key, table in (
                 (name, self._sections),
-                (name, self._paths),
+                (path, self._paths),
             ):
                 entry = table.get(key)
                 if entry is None:

@@ -38,6 +38,7 @@ __all__ = [
     "NullTelemetry",
     "Telemetry",
     "RunStream",
+    "StreamFollower",
     "get_telemetry",
     "set_telemetry",
     "enable_telemetry",
@@ -185,6 +186,79 @@ def read_stream(src) -> dict:
     return {"manifest": manifest, "steps": steps, "end": end}
 
 
+class StreamFollower:
+    """Incremental tail-buffering reader of a *live* telemetry stream.
+
+    ``python -m repro monitor --follow`` used to re-read and re-parse
+    the whole file every poll, and a line caught mid-flush was dropped
+    for that frame.  The follower instead remembers its byte offset,
+    reads only what the writer appended, and **buffers a partial trailing
+    line** until its newline arrives — a record is parsed exactly once,
+    and never while half-written.  A *complete* line that still fails to
+    parse (actual corruption, not an in-flight flush) is counted in
+    ``parse_errors`` and skipped rather than raised, so a monitor
+    survives a torn write.
+
+    The follower also folds records into a running ``read_stream``-shaped
+    view (:attr:`data`), so render code is identical for one-shot and
+    follow modes.  Truncation (the file shrank — e.g. a rerun recreated
+    it) resets the follower to the new beginning.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._offset = 0
+        self._tail = b""
+        self.parse_errors = 0
+        self.data: dict = {"manifest": None, "steps": [], "end": None}
+
+    def poll(self) -> list[dict]:
+        """Consume newly completed records; returns the new ones in order."""
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            return []
+        if size < self._offset:
+            # the file was truncated/recreated under us: start over
+            self._offset = 0
+            self._tail = b""
+            self.parse_errors = 0
+            self.data = {"manifest": None, "steps": [], "end": None}
+        if size == self._offset:
+            return []
+        with open(self.path, "rb") as fh:
+            fh.seek(self._offset)
+            chunk = fh.read()
+        self._offset += len(chunk)
+        buf = self._tail + chunk
+        lines = buf.split(b"\n")
+        self._tail = lines.pop()  # b"" after a clean flush
+        records: list[dict] = []
+        for raw in lines:
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                rec = json.loads(raw.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                self.parse_errors += 1
+                continue
+            records.append(rec)
+            kind = rec.get("kind")
+            if kind == "manifest":
+                self.data["manifest"] = rec
+            elif kind == "end":
+                self.data["end"] = rec
+            elif kind == "telemetry":
+                self.data["steps"].append(rec)
+        return records
+
+    @property
+    def finished(self) -> bool:
+        """True once the stream's ``end`` record has been consumed."""
+        return self.data["end"] is not None
+
+
 #: unicode block ramp used by :func:`sparkline`
 _SPARK_CHARS = "▁▂▃▄▅▆▇█"
 
@@ -249,6 +323,9 @@ def run_manifest(config=None, extra: Mapping | None = None) -> dict:
         manifest["scipy"] = scipy.__version__
     except ImportError:  # pragma: no cover - scipy is a hard dependency
         manifest["scipy"] = None
+    from repro.instrument.store import git_revision
+
+    manifest["git_rev"] = git_revision()
     if config is not None:
         manifest["config"] = config.to_dict()
         manifest["config_hash"] = config.config_hash()

@@ -142,22 +142,47 @@ def _pool_init(initializer, initargs) -> None:
         initializer(*initargs)
 
 
+#: cap on span records shipped back per process task (a runaway nested
+#: section must not make every result message huge)
+_WORKER_SPAN_CAP = 4096
+
+
 def _process_call(item):
     """Run one task in a pool worker; never raises.
 
-    Returns ``(pid, t0, t1, ok, result_or_exc)``: the parent re-raises
-    failures in payload order (deterministic attribution) and records
-    the ``[t0, t1]`` interval as an external span on the worker's trace
-    lane — ``time.perf_counter`` is CLOCK_MONOTONIC on Linux, shared
-    across processes, so child timestamps land on the parent timeline.
+    Returns ``(pid, t0, t1, ok, result_or_exc, spans)``: the parent
+    re-raises failures in payload order (deterministic attribution) and
+    records the ``[t0, t1]`` interval as an external span on the
+    worker's trace lane — ``time.perf_counter`` is CLOCK_MONOTONIC on
+    Linux, shared across processes, so child timestamps land on the
+    parent timeline.
+
+    When the parent dispatched with instrumentation enabled (``capture``
+    set), the task runs against a private child-side
+    :class:`~repro.instrument.registry.Registry`, and the *real* spans
+    the task opened (tree build/walk, PP batches, ...) ship back as
+    ``(name, path, start, end)`` tuples — so process-backend traces and
+    section aggregates carry the same interior structure the thread
+    backend records directly, not just one opaque lane rectangle.
     """
-    fn, payload = item
+    fn, payload, capture = item
+    spans: tuple = ()
     t0 = time.perf_counter()
     try:
-        result = fn(payload)
-        return (os.getpid(), t0, time.perf_counter(), True, result)
+        if capture:
+            from repro.instrument.registry import Registry, use
+
+            reg = Registry(max_events=_WORKER_SPAN_CAP)
+            with use(reg):
+                result = fn(payload)
+            spans = tuple(
+                (ev.name, ev.path, ev.start, ev.end) for ev in reg.events
+            )
+        else:
+            result = fn(payload)
+        return (os.getpid(), t0, time.perf_counter(), True, result, spans)
     except Exception as exc:
-        return (os.getpid(), t0, time.perf_counter(), False, exc)
+        return (os.getpid(), t0, time.perf_counter(), False, exc, spans)
 
 
 class RankExecutor:
@@ -380,15 +405,24 @@ class RankExecutor:
 
     def _map_process(self, fn, payloads, ranks, label) -> list:
         pool = self._ensure_pool()
-        pending = [
-            pool.apply_async(_process_call, ((fn, p),)) for p in payloads
-        ]
         reg = get_registry()
+        capture = reg.enabled
+        pending = [
+            pool.apply_async(_process_call, ((fn, p, capture),))
+            for p in payloads
+        ]
         out, failure = [], None
         for rank, res in zip(ranks, pending):
-            pid, t0, t1, ok, value = res.get()
+            pid, t0, t1, ok, value, spans = res.get()
             if reg.enabled:
-                reg.record_external(label, t0, t1, rank=self._lane(pid))
+                lane = self._lane(pid)
+                reg.record_external(label, t0, t1, rank=lane)
+                # worker-side interior spans, re-rooted under the task
+                # envelope so the lane renders (and nests) as a real tree
+                for name, path, s0, s1 in spans:
+                    reg.record_external(
+                        name, s0, s1, rank=lane, path=f"{label}/{path}"
+                    )
             if not ok and failure is None:
                 failure = (rank, value)
             out.append(value if ok else None)
