@@ -10,11 +10,14 @@
 """
 
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 
+from repro.instrument.report import write_bench_record
 from repro.machine.kernel_model import FIG5_CONFIGS, ForceKernelModel
+from repro.shortrange.backends import available_backends
 from repro.shortrange.grid_force import default_grid_force_fit
 from repro.shortrange.kernel import ShortRangeKernel
 from repro.shortrange.solvers import TreePMShortRange
@@ -22,6 +25,7 @@ from repro.shortrange.solvers import TreePMShortRange
 from conftest import print_table
 
 LIST_SIZES = np.array([64, 125, 250, 500, 1000, 2500, 5000], dtype=float)
+REPO_ROOT = Path(__file__).resolve().parents[1]
 
 
 class TestFig5Model:
@@ -174,3 +178,140 @@ class TestBatchedEngineSpeedup:
         )
         largest = rows[-1]
         assert largest["naive"] / largest["batched"] >= 3.0
+
+
+class TestKernelBackendSweep:
+    """Backend x precision sweep of the short-range force — the record
+    behind ``check_regression.py --check-kernel-speedup``.
+
+    Times the same end-to-end TreePM evaluation (tree + lists + kernel)
+    through every available kernel backend at both precisions, asserts
+    the seam's correctness contract (identical pair counts everywhere;
+    f64 numba bitwise equal to f64 numpy), and leaves a repo-root
+    ``BENCH_kernels.json`` with per-configuration timings and the two
+    gated speedups: compiled-f32 vs the interpreted-f64 reference (the
+    paper's mixed-precision compiled kernel; gated at 5x when numba is
+    importable) and f32 vs f64 on the numpy path alone (the pure
+    bandwidth half of mixed precision; gated at 1.5x always).
+    """
+
+    N = 20000
+    BOX = 32.0
+    REPS = 3
+
+    def test_backend_precision_sweep(self, benchmark, rng):
+        fit = default_grid_force_fit()
+        backends = [b for b in available_backends() if b != "cupy"]
+        numba_available = "numba" in backends
+        pos = rng.uniform(0, self.BOX, (self.N, 3))
+        masses = rng.uniform(0.5, 1.5, self.N)
+
+        def measure() -> list[dict]:
+            entries = []
+            for backend in backends:
+                for precision, dtype in (
+                    ("f64", np.float64), ("f32", np.float32)
+                ):
+                    kernel = ShortRangeKernel(
+                        fit, spacing=1.0, eps_cells=0.01, dtype=dtype
+                    )
+                    solver = TreePMShortRange(
+                        kernel, leaf_size=128, kernel_backend=backend
+                    )
+                    # warm-up: numba JIT-compiles on first call, numpy
+                    # grows its workspace buffers
+                    solver.accelerations(pos, masses, box_size=self.BOX)
+                    best = np.inf
+                    for _ in range(self.REPS):
+                        kernel.reset_counters()
+                        t0 = time.perf_counter()
+                        acc = solver.accelerations(
+                            pos, masses, box_size=self.BOX
+                        )
+                        best = min(best, time.perf_counter() - t0)
+                    pairs = kernel.interaction_count
+                    entries.append(
+                        {
+                            "backend": backend,
+                            "precision": precision,
+                            "seconds": best,
+                            "interactions": pairs,
+                            "ns_per_pair": 1e9 * best / max(pairs, 1),
+                            "acc": acc,
+                        }
+                    )
+            return entries
+
+        entries = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+        by_key = {(e["backend"], e["precision"]): e for e in entries}
+        ref = by_key[("numpy", "f64")]
+
+        # contract: every configuration evaluates the identical lists
+        for e in entries:
+            assert e["interactions"] == ref["interactions"], (
+                f"{e['backend']}/{e['precision']} charged "
+                f"{e['interactions']} pairs != numpy/f64 "
+                f"{ref['interactions']}"
+            )
+        # contract: strict-IEEE compiled f64 is bitwise the reference
+        if numba_available:
+            assert np.array_equal(
+                by_key[("numba", "f64")]["acc"], ref["acc"]
+            ), "f64 numba must be bitwise identical to f64 numpy"
+        # f32 tracks f64 at the documented tolerance
+        scale = np.abs(ref["acc"]).max()
+        for e in entries:
+            if e["precision"] == "f32":
+                assert (
+                    np.max(np.abs(e["acc"] - ref["acc"])) < 1e-4 * scale
+                ), f"{e['backend']}/f32 drifted beyond 1e-4"
+
+        table = []
+        for e in entries:
+            table.append(
+                [
+                    f"{e['backend']}/{e['precision']}",
+                    f"{e['seconds']:.3f}",
+                    f"{e['ns_per_pair']:.1f}",
+                    f"{ref['seconds'] / e['seconds']:.2f}x",
+                ]
+            )
+        print_table(
+            f"Kernel backends: end-to-end short-range force "
+            f"(N={self.N}, {ref['interactions']} pairs)",
+            ["config", "seconds", "ns/pair", "vs numpy/f64"],
+            table,
+        )
+
+        speedups = {
+            "f32_vs_f64_numpy": (
+                ref["seconds"] / by_key[("numpy", "f32")]["seconds"]
+            ),
+        }
+        if numba_available:
+            speedups["numba_f64_vs_numpy_f64"] = (
+                ref["seconds"] / by_key[("numba", "f64")]["seconds"]
+            )
+            speedups["numba_f32_vs_numpy_f64"] = (
+                ref["seconds"] / by_key[("numba", "f32")]["seconds"]
+            )
+
+        payload = {
+            "nodeid": "bench_fig5_kernel_threading.py::kernel_backends",
+            "duration_s": sum(e["seconds"] for e in entries),
+            "problem": {
+                "box_size": self.BOX,
+                "n": self.N,
+                "leaf_size": 128,
+                "reps": self.REPS,
+            },
+            "numba_available": numba_available,
+            "entries": [
+                {k: v for k, v in e.items() if k != "acc"}
+                for e in entries
+            ],
+            "speedups": speedups,
+        }
+        path = write_bench_record("kernels", payload, directory=REPO_ROOT)
+        print(f"record -> {path}")

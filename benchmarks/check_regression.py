@@ -43,6 +43,7 @@ HERE = Path(__file__).parent
 DEFAULT_RECORDS = HERE / "records"
 DEFAULT_BASELINE = HERE / "records" / "baseline"
 DEFAULT_SPEEDUP_RECORD = HERE.parent / "BENCH_executor.json"
+DEFAULT_KERNEL_RECORD = HERE.parent / "BENCH_kernels.json"
 
 
 def load_records(directory: Path) -> dict[str, dict]:
@@ -183,6 +184,87 @@ def check_speedup(
     return (None, row)
 
 
+def check_kernel_speedup(
+    fresh: dict[str, dict],
+    record_path: Path,
+    min_kernel: float,
+    min_f32: float,
+) -> tuple[list[str], list[tuple[str, ...]]]:
+    """Gate the kernel-backend sweep record; (failures, table_rows).
+
+    Like the executor gate, the record is absolute — both speedups are
+    ratios measured within one sweep — so no baseline is involved.  Two
+    clauses:
+
+    * ``numba_f32_vs_numpy_f64`` (compiled mixed-precision kernel vs the
+      interpreted reference) must reach ``min_kernel``; **self-skips**
+      when the record says numba was not importable where the bench ran.
+    * ``f32_vs_f64_numpy`` (precision alone, same numpy path) must reach
+      ``min_f32``; always gated — it needs no compiler.
+    """
+    rec = fresh.get("kernels")
+    if rec is None and record_path.is_file():
+        try:
+            rec = json.loads(record_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            return ([f"kernels: unreadable record {record_path}: {exc}"], [])
+    if rec is None:
+        return (
+            [
+                f"kernels: no sweep record (looked in the records dir and "
+                f"at {record_path}); run bench_fig5_kernel_threading.py"
+            ],
+            [],
+        )
+    payload = rec.get("payload", {})
+    speedups = payload.get("speedups")
+    if not isinstance(speedups, dict):
+        return (["kernels: record has no payload.speedups block"], [])
+
+    failures: list[str] = []
+    rows: list[tuple[str, ...]] = []
+
+    f32 = speedups.get("f32_vs_f64_numpy")
+    if not isinstance(f32, (int, float)):
+        failures.append("kernels: record lacks the f32_vs_f64_numpy speedup")
+    else:
+        ok = f32 >= min_f32
+        rows.append(
+            ("kernels", "speedup", f"{f32:.2f}x", f">={min_f32:.2f}x",
+             f"f32/f64 numpy {'ok' if ok else 'BELOW'}")
+        )
+        if not ok:
+            failures.append(
+                f"kernels: f32 vs f64 on the numpy path reached "
+                f"{f32:.2f}x < {min_f32:.2f}x"
+            )
+
+    if not payload.get("numba_available", False):
+        rows.append(
+            ("kernels", "speedup", "-", f">={min_kernel:.2f}x",
+             "numba n/a (skipped)")
+        )
+        return failures, rows
+    nb = speedups.get("numba_f32_vs_numpy_f64")
+    if not isinstance(nb, (int, float)):
+        failures.append(
+            "kernels: numba available but record lacks the "
+            "numba_f32_vs_numpy_f64 speedup"
+        )
+        return failures, rows
+    ok = nb >= min_kernel
+    rows.append(
+        ("kernels", "speedup", f"{nb:.2f}x", f">={min_kernel:.2f}x",
+         f"numba@f32 vs numpy@f64 {'ok' if ok else 'BELOW'}")
+    )
+    if not ok:
+        failures.append(
+            f"kernels: compiled f32 kernel reached {nb:.2f}x < "
+            f"{min_kernel:.2f}x over the interpreted f64 reference"
+        )
+    return failures, rows
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument(
@@ -247,6 +329,36 @@ def main(argv: list[str] | None = None) -> int:
         type=Path,
         default=DEFAULT_SPEEDUP_RECORD,
         help="fallback location of the executor-scaling record",
+    )
+    ap.add_argument(
+        "--check-kernel-speedup",
+        action="store_true",
+        help="also gate the kernel-backend sweep record (repo-root "
+             "BENCH_kernels.json or the records dir): fail when the "
+             "compiled f32 kernel is below --min-kernel-speedup over the "
+             "interpreted f64 reference (skipped where numba is "
+             "unavailable) or f32 is below --min-f32-speedup over f64 on "
+             "the numpy path",
+    )
+    ap.add_argument(
+        "--min-kernel-speedup",
+        type=float,
+        default=5.0,
+        help="minimum accepted numba@f32 vs numpy@f64 speedup "
+             "(default 5.0)",
+    )
+    ap.add_argument(
+        "--min-f32-speedup",
+        type=float,
+        default=1.5,
+        help="minimum accepted f32 vs f64 speedup on the numpy path "
+             "(default 1.5)",
+    )
+    ap.add_argument(
+        "--kernel-record",
+        type=Path,
+        default=DEFAULT_KERNEL_RECORD,
+        help="fallback location of the kernel-sweep record",
     )
     ap.add_argument(
         "--check-health",
@@ -356,6 +468,16 @@ def main(argv: list[str] | None = None) -> int:
             rows.append(row)
         if failure is not None:
             failures.append(failure)
+
+    if args.check_kernel_speedup:
+        kfailures, krows = check_kernel_speedup(
+            fresh,
+            args.kernel_record,
+            args.min_kernel_speedup,
+            args.min_f32_speedup,
+        )
+        rows.extend(krows)
+        failures.extend(kfailures)
 
     widths = [max(len(r[i]) for r in rows + [("name", "kind", "cur s", "base s", "status")]) for i in range(5)]
     header = ("name", "kind", "cur s", "base s", "status")

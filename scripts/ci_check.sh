@@ -12,10 +12,14 @@
 # baseline with benchmarks/check_regression.py --check-health
 # --check-speedup (fails on >20% slowdown of a gated bench, a CRIT
 # physics-health verdict, or a short-range executor speedup below 1.7x
-# at 4 workers; an unrecovered rank death exits 2).  Finally exercises
+# at 4 workers; an unrecovered rank death exits 2).  Exercises
 # the observability stack end to end: two small ledgered runs, then
 # 'python -m repro report --compare' must produce a machine-readable
-# JSON comparison with a verdict.
+# JSON comparison with a verdict.  Finally gates the kernel-backend
+# sweep (BENCH_kernels.json from the fig5 bench): the compiled f32
+# kernel must beat the interpreted f64 reference by 5x (self-skips
+# where numba is unavailable) and f32 must beat f64 by 1.5x on the
+# numpy path.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -25,22 +29,22 @@ PYTHON="${PYTHON:-python}"
 export REPRO_CHAOS_SEED="${REPRO_CHAOS_SEED:-2012}"
 export REPRO_CHAOS_WORKERS="${REPRO_CHAOS_WORKERS:-2}"
 
-echo "== 1/7 smoke tests (pytest -m 'not slow') =="
+echo "== 1/8 smoke tests (pytest -m 'not slow') =="
 PYTHONPATH=src "$PYTHON" -m pytest tests -q -m "not slow"
 
-echo "== 2/7 parallel smoke (demo --workers 2) =="
+echo "== 2/8 parallel smoke (demo --workers 2) =="
 PYTHONPATH=src "$PYTHON" -m repro demo --steps 2 --n-per-dim 12 --workers 2
 
-echo "== 3/7 chaos lane (pytest -m chaos, seed $REPRO_CHAOS_SEED) =="
+echo "== 3/8 chaos lane (pytest -m chaos, seed $REPRO_CHAOS_SEED) =="
 PYTHONPATH=src "$PYTHON" -m pytest tests -q -m chaos
 
-echo "== 4/7 chaos lane under $REPRO_CHAOS_WORKERS workers =="
+echo "== 4/8 chaos lane under $REPRO_CHAOS_WORKERS workers =="
 PYTHONPATH=src "$PYTHON" -m pytest tests/test_parallel_executor.py -q -m chaos
 
-echo "== 5/7 fig5 kernel + executor scaling benchmarks =="
+echo "== 5/8 fig5 kernel + executor scaling benchmarks =="
 (cd benchmarks && PYTHONPATH=../src "$PYTHON" -m pytest bench_fig5_kernel_threading.py bench_executor_scaling.py -q)
 
-echo "== 6/7 regression + health + speedup gate =="
+echo "== 6/8 regression + health + speedup gate =="
 if [ ! -d benchmarks/records/baseline ] || \
    ! ls benchmarks/records/baseline/BENCH_*.json >/dev/null 2>&1; then
     echo "no baseline found -- bootstrapping from this run"
@@ -48,7 +52,7 @@ if [ ! -d benchmarks/records/baseline ] || \
 fi
 "$PYTHON" benchmarks/check_regression.py --check-health --check-speedup
 
-echo "== 7/7 run ledger + critical-path report lane =="
+echo "== 7/8 run ledger + critical-path report lane =="
 CI_OBS_DIR="$(mktemp -d)"
 trap 'rm -rf "$CI_OBS_DIR"' EXIT
 PYTHONPATH=src "$PYTHON" -m repro profile --steps 2 --n-per-dim 8 \
@@ -70,6 +74,9 @@ assert rep.get("phases"), "comparison has no phases"
 print(f"report lane: verdict {rep['verdict']}, "
       f"{len(rep['phases'])} phases compared")
 PYEOF
+
+echo "== 8/8 kernel-backend speedup gate =="
+"$PYTHON" benchmarks/check_regression.py --check-kernel-speedup
 
 echo "ci_check: all gates passed"
 

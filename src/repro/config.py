@@ -20,6 +20,8 @@ __all__ = ["SimulationConfig"]
 
 _BACKENDS = ("treepm", "p3m", "direct", "pm")
 _EXECUTORS = ("serial", "thread", "process")
+_KERNEL_BACKENDS = ("auto", "numpy", "numba", "cupy")
+_PRECISIONS = ("f32", "f64")
 
 
 @dataclass(frozen=True)
@@ -75,6 +77,18 @@ class SimulationConfig:
         Rank-executor backend: ``"serial"`` (default), ``"thread"``
         (NumPy-GIL-release thread pool) or ``"process"``
         (shared-memory fork pool).
+    kernel_backend:
+        Short-range inner-loop implementation: ``"auto"`` (default;
+        numba when importable, else numpy), ``"numpy"`` (vectorized
+        reference), ``"numba"`` (JIT-compiled parallel loops) or
+        ``"cupy"`` (CUDA).  Explicitly requesting an unavailable
+        backend fails loudly at solver construction.
+    dtype:
+        Floating-point precision of the particle state and force
+        kernels: ``"f64"`` (default) or ``"f32"`` (the paper's
+        mixed-precision mode — single-precision particles and kernels
+        end to end; the spectral k-kernels are still *derived* in
+        float64 before being cast).
     seed:
         White-noise seed for the initial conditions.
     cosmology:
@@ -102,6 +116,8 @@ class SimulationConfig:
     step_spacing: str = "a"
     workers: int = 1
     executor: str = "serial"
+    kernel_backend: str = "auto"
+    dtype: str = "f64"
     seed: int = 0
     cosmology: Cosmology = field(default_factory=lambda: WMAP7)
 
@@ -151,6 +167,15 @@ class SimulationConfig:
                 f"executor must be one of {_EXECUTORS}, "
                 f"got {self.executor!r}"
             )
+        if self.kernel_backend not in _KERNEL_BACKENDS:
+            raise ValueError(
+                f"kernel_backend must be one of {_KERNEL_BACKENDS}, "
+                f"got {self.kernel_backend!r}"
+            )
+        if self.dtype not in _PRECISIONS:
+            raise ValueError(
+                f"dtype must be one of {_PRECISIONS}, got {self.dtype!r}"
+            )
 
     # ------------------------------------------------------------------
     def grid(self) -> int:
@@ -176,6 +201,11 @@ class SimulationConfig:
     def rcut(self) -> float:
         """Physical short/long handover radius, Mpc/h."""
         return self.rcut_cells * self.spacing()
+
+    @property
+    def precision_dtype(self) -> type:
+        """The NumPy scalar type named by ``dtype``."""
+        return np.float32 if self.dtype == "f32" else np.float64
 
     def step_edges(self) -> np.ndarray:
         """Scale-factor values bounding each full step (length n_steps+1)."""

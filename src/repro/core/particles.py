@@ -119,3 +119,19 @@ class Particles:
             ids=self.ids.copy(),
             box_size=self.box_size,
         )
+
+    def astype(self, dtype) -> "Particles":
+        """Copy with the floating-point state cast to ``dtype``.
+
+        The mixed-precision entry point: ``astype(np.float32)`` is how a
+        run adopts the paper's single-precision particle state.  Ids stay
+        int64; a no-op cast still returns fresh arrays (copy semantics).
+        """
+        dt = np.dtype(dtype)
+        return Particles(
+            positions=self.positions.astype(dt),
+            momenta=self.momenta.astype(dt),
+            masses=self.masses.astype(dt),
+            ids=self.ids.copy(),
+            box_size=self.box_size,
+        )

@@ -43,6 +43,7 @@ from repro.shortrange.grid_force import (
     default_grid_force_fit,
     pair_force_normalization,
 )
+from repro.shortrange.backends import resolve_backend
 from repro.shortrange.kernel import ShortRangeKernel
 from repro.shortrange.solvers import (
     build_solver,
@@ -95,14 +96,16 @@ def _solve_domain_shared(payload):
     ``positions``/``masses`` arrive as shared-memory handles; the domain
     ships only global ids plus per-axis periodic wrap codes (int8 in
     {-1, 0, 1}).  ``ids_indexed + codes * box`` repeats the identical
-    float64 addition the overload exchange performed, so the
-    reconstructed cloud is bitwise equal to the one the serial path saw
-    (the dispatcher verifies this before choosing index shipping).
+    floating-point addition (in the state dtype) the overload exchange
+    performed, so the reconstructed cloud is bitwise equal to the one
+    the serial path saw (the dispatcher verifies this before choosing
+    index shipping).
     """
     rank, pos_ref, mas_ref, ids, codes, active, box = payload
     gpos = resolve_shared(pos_ref)
     gmas = resolve_shared(mas_ref)
-    positions = gpos[ids] + codes.astype(np.float64) * box
+    base = gpos[ids]
+    positions = base + codes.astype(base.dtype) * base.dtype.type(box)
     return _solve_domain(_WORKER_SOLVER, rank, positions, gmas[ids], active)
 
 
@@ -179,6 +182,12 @@ class HACCSimulation:
         self.cosmology = config.cosmology
         self.prefactor = 1.5 * self.cosmology.omega_m
 
+        # resolve the kernel backend ONCE (auto -> numba when importable,
+        # else numpy; explicit unavailable names fail loudly here) and
+        # carry the resolved *name* everywhere — including into picklable
+        # solver specs, so process workers rebuild the same choice
+        self.kernel_backend: str = resolve_backend(config.kernel_backend).name
+
         self.poisson = SpectralPoissonSolver(
             config.grid(),
             config.box_size,
@@ -186,6 +195,8 @@ class HACCSimulation:
             ns=config.ns,
             laplacian_order=config.laplacian_order,
             gradient_order=config.gradient_order,
+            dtype=None if config.dtype == "f64" else config.precision_dtype,
+            kernel_backend=self.kernel_backend,
         )
 
         if particles is None:
@@ -203,6 +214,11 @@ class HACCSimulation:
                 f"particle box {particles.box_size} != config box "
                 f"{config.box_size}"
             )
+        # the config's precision is policy: cast the particle state once
+        # at construction (a no-op for the default f64 path, whose ICs
+        # are already float64)
+        if particles.positions.dtype != config.precision_dtype:
+            particles = particles.astype(config.precision_dtype)
         self.particles = particles
         self.pair_norm = pair_force_normalization(
             config.box_size, self.particles.n
@@ -216,7 +232,10 @@ class HACCSimulation:
                 config.sigma, config.ns, config.rcut_cells
             )
             self.kernel = ShortRangeKernel(
-                fit, config.spacing(), eps_cells=config.eps_cells
+                fit,
+                config.spacing(),
+                eps_cells=config.eps_cells,
+                dtype=config.precision_dtype,
             )
             self.short_solver = build_solver(
                 config.backend,
@@ -224,6 +243,7 @@ class HACCSimulation:
                 leaf_size=config.leaf_size,
                 naive=config.shortrange_naive,
                 chunk_pairs=config.chunk_pairs,
+                kernel_backend=self.kernel_backend,
             )
             self._solver_spec = solver_spec(
                 config.backend,
@@ -231,6 +251,7 @@ class HACCSimulation:
                 leaf_size=config.leaf_size,
                 naive=config.shortrange_naive,
                 chunk_pairs=config.chunk_pairs,
+                kernel_backend=self.kernel_backend,
             )
 
         #: rank executor running the bulk-synchronous parallel sections
@@ -401,7 +422,10 @@ class HACCSimulation:
                     codes = np.rint(
                         (dom.positions - base) / box
                     ).astype(np.int8)
-                    recon = base + codes.astype(np.float64) * box
+                    # same dtype arithmetic as the worker-side recon
+                    recon = (
+                        base + codes.astype(base.dtype) * base.dtype.type(box)
+                    )
                     if np.array_equal(recon, dom.positions):
                         shipped = (
                             dom.rank, pos_ref, mas_ref,

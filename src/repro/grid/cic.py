@@ -23,21 +23,41 @@ __all__ = [
 ]
 
 
-def _corner_data(positions: np.ndarray, n: int, box_size: float):
+def _float_dtype(a) -> np.dtype:
+    """float32 stays float32; everything else is promoted to float64."""
+    dt = np.asarray(a).dtype
+    return dt if dt in (np.float32, np.float64) else np.dtype(np.float64)
+
+
+def _cic_backend(backend):
+    """Resolve the kernel backend for a CIC call (default: numpy).
+
+    Imported lazily: ``repro.shortrange`` pulls in ``grid_force`` which
+    imports this module, so a top-level import would be circular.
+    """
+    from repro.shortrange.backends import get_backend, resolve_backend
+
+    if backend is None:
+        return get_backend("numpy")
+    return resolve_backend(backend)
+
+
+def _corner_data(positions: np.ndarray, n: int, box_size: float, dtype=None):
     """Base cell indices and fractional offsets for each particle."""
-    pos = np.asarray(positions, dtype=np.float64)
+    dt = _float_dtype(positions) if dtype is None else np.dtype(dtype)
+    pos = np.asarray(positions, dtype=dt)
     if pos.ndim != 2 or pos.shape[1] != 3:
         raise ValueError(f"positions must be (N, 3), got {pos.shape}")
     if box_size <= 0:
         raise ValueError(f"box_size must be positive, got {box_size}")
     if n < 2:
         raise ValueError(f"grid size must be >= 2, got {n}")
-    scaled = np.mod(pos, box_size) * (n / box_size)
+    scaled = np.mod(pos, dt.type(box_size)) * dt.type(n / box_size)
     # mod can return box_size for inputs just below it after scaling
-    scaled = np.where(scaled >= n, scaled - n, scaled)
+    scaled = np.where(scaled >= n, scaled - dt.type(n), scaled)
     base = np.floor(scaled).astype(np.int64)
     np.clip(base, 0, n - 1, out=base)
-    frac = scaled - base
+    frac = (scaled - base).astype(dt, copy=False)
     return base, frac
 
 
@@ -52,25 +72,36 @@ class ParticleGridCoords:
     that work a single time.  Corners are enumerated in the same
     ``(dx, dy, dz)`` order as the inline loops, so results match the
     uncached path.
+
+    ``dtype`` fixes the precision of the trilinear weights; by default
+    it follows the positions (float32 positions keep float32 weights —
+    the mixed-precision PM path has no silent float64 upcast).
     """
 
-    def __init__(self, positions: np.ndarray, n: int, box_size: float) -> None:
-        base, frac = _corner_data(positions, n, box_size)
+    def __init__(
+        self,
+        positions: np.ndarray,
+        n: int,
+        box_size: float,
+        dtype=None,
+    ) -> None:
+        base, frac = _corner_data(positions, n, box_size, dtype=dtype)
         self.n = int(n)
         self.box_size = float(box_size)
         self.n_particles = base.shape[0]
+        one = frac.dtype.type(1.0)
         ip1 = (base + 1) % n
         flats = []
         wts = []
         for dx in (0, 1):
             ix = base[:, 0] if dx == 0 else ip1[:, 0]
-            wx = (1.0 - frac[:, 0]) if dx == 0 else frac[:, 0]
+            wx = (one - frac[:, 0]) if dx == 0 else frac[:, 0]
             for dy in (0, 1):
                 iy = base[:, 1] if dy == 0 else ip1[:, 1]
-                wy = (1.0 - frac[:, 1]) if dy == 0 else frac[:, 1]
+                wy = (one - frac[:, 1]) if dy == 0 else frac[:, 1]
                 for dz in (0, 1):
                     iz = base[:, 2] if dz == 0 else ip1[:, 2]
-                    wz = (1.0 - frac[:, 2]) if dz == 0 else frac[:, 2]
+                    wz = (one - frac[:, 2]) if dz == 0 else frac[:, 2]
                     flats.append((ix * n + iy) * n + iz)
                     wts.append(wx * wy * wz)
         #: (8, N) flattened grid indices of the surrounding corners
@@ -92,6 +123,8 @@ def cic_deposit(
     box_size: float,
     weights: np.ndarray | None = None,
     coords: ParticleGridCoords | None = None,
+    dtype=None,
+    backend=None,
 ) -> np.ndarray:
     """Deposit particle mass onto an ``n^3`` periodic grid.
 
@@ -109,34 +142,39 @@ def cic_deposit(
         Optional precomputed :class:`ParticleGridCoords` for these
         positions — reuses the corner index/weight computation across
         the deposit and the force gathers of one PM solve.
+    dtype:
+        Grid precision; ``None`` keeps float64 (the historical default,
+        even for float32 positions — pass ``np.float32`` explicitly for
+        a mixed-precision PM grid).
+    backend:
+        Kernel backend (name or instance) performing the scatter;
+        ``None`` uses the NumPy reference.
 
     Returns
     -------
-    (n, n, n) float64 array whose sum equals the total deposited mass
-    (exact mass conservation — a property test pins this down).
+    (n, n, n) array in ``dtype`` whose sum equals the total deposited
+    mass (exact mass conservation — a property test pins this down).
     """
     reg = get_registry()
+    dt = np.dtype(np.float64) if dtype is None else np.dtype(dtype)
     with reg.span("cic.deposit"):
         if coords is None:
-            coords = ParticleGridCoords(positions, n, box_size)
+            coords = ParticleGridCoords(positions, n, box_size, dtype=dt)
         else:
             coords.check(n, box_size)
         npart = coords.n_particles
         w = (
-            np.ones(npart, dtype=np.float64)
+            np.ones(npart, dtype=dt)
             if weights is None
-            else np.asarray(weights, dtype=np.float64)
+            else np.asarray(weights, dtype=dt)
         )
         if w.shape != (npart,):
             raise ValueError(f"weights shape {w.shape} != ({npart},)")
 
-        grid = np.zeros(n * n * n, dtype=np.float64)
-        for c in range(8):
-            grid += np.bincount(
-                coords.flat[c],
-                weights=w * coords.weights[c],
-                minlength=n * n * n,
-            )
+        cw = coords.weights.astype(dt, copy=False)
+        grid = _cic_backend(backend).cic_deposit(
+            coords.flat, cw, w, n * n * n
+        )
         reg.count("cic.deposit_particles", npart)
     return grid.reshape(n, n, n)
 
@@ -146,28 +184,32 @@ def cic_interpolate(
     positions: np.ndarray,
     box_size: float,
     coords: ParticleGridCoords | None = None,
+    dtype=None,
+    backend=None,
 ) -> np.ndarray:
     """Gather grid values at particle positions with CIC weights.
 
     The adjoint of :func:`cic_deposit` — using the identical weights makes
     the PM force momentum conserving (no self-force), which the force
     tests check by measuring the net force on isolated particles.
-    ``coords`` reuses a precomputed :class:`ParticleGridCoords`.
+    ``coords`` reuses a precomputed :class:`ParticleGridCoords`;
+    ``dtype`` fixes the output precision (default float64) and
+    ``backend`` selects the gather implementation (default NumPy).
     """
     reg = get_registry()
+    dt = np.dtype(np.float64) if dtype is None else np.dtype(dtype)
     with reg.span("cic.interpolate"):
         grid = np.asarray(grid)
         n = grid.shape[0]
         if grid.shape != (n, n, n):
             raise ValueError(f"grid must be cubic, got shape {grid.shape}")
         if coords is None:
-            coords = ParticleGridCoords(positions, n, box_size)
+            coords = ParticleGridCoords(positions, n, box_size, dtype=dt)
         else:
             coords.check(n, box_size)
-        flat_grid = grid.reshape(-1)
-        out = np.zeros(coords.n_particles, dtype=np.float64)
-        for c in range(8):
-            out += flat_grid[coords.flat[c]] * coords.weights[c]
+        flat_grid = grid.reshape(-1).astype(dt, copy=False)
+        cw = coords.weights.astype(dt, copy=False)
+        out = _cic_backend(backend).cic_gather(flat_grid, coords.flat, cw)
         reg.count("cic.interp_particles", coords.n_particles)
     return out
 

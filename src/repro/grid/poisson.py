@@ -67,6 +67,15 @@ class SpectralPoissonSolver:
         CIC force gathers.  Partitioning depends only on the worker
         *count*, so equal-``workers`` runs agree bitwise across
         backends.
+    dtype:
+        Grid precision.  ``None`` (default) keeps the historical float64
+        spectral path untouched; ``np.float32`` runs the whole PM force
+        — deposit, FFTs (complex64 via ``scipy.fft`` when present),
+        k-space kernels, gathers — in single precision with no silent
+        upcasts.
+    kernel_backend:
+        Kernel backend *name* for the CIC scatter/gather passes
+        (``None`` = NumPy reference).
 
     Examples
     --------
@@ -90,6 +99,8 @@ class SpectralPoissonSolver:
     laplacian_order: int = 6
     gradient_order: int = 4
     executor: object | None = field(default=None, repr=False, compare=False)
+    dtype: object = None
+    kernel_backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.n < 2:
@@ -97,15 +108,30 @@ class SpectralPoissonSolver:
         if self.box_size <= 0:
             raise ValueError(f"box_size must be positive: {self.box_size}")
         self.spacing = self.box_size / self.n
+        self._dtype = (
+            np.dtype(np.float64)
+            if self.dtype is None
+            else np.dtype(self.dtype)
+        )
         kx, ky, kz = fourier_grid(self.n, self.box_size)
-        self._filter_green = spectral_filter(
-            kx, ky, kz, self.spacing, self.sigma, self.ns
-        ) * influence_function(kx, ky, kz, self.spacing, self.laplacian_order)
+        # k-space kernels are *computed* in float64 (they are set-up
+        # cost, accuracy is free) and stored in the working precision
+        self._filter_green = (
+            spectral_filter(kx, ky, kz, self.spacing, self.sigma, self.ns)
+            * influence_function(
+                kx, ky, kz, self.spacing, self.laplacian_order
+            )
+        ).astype(self._dtype, copy=False)
         # the force is -grad phi: the gradient kernels are stored
         # pre-negated so each step spends one multiply per component
-        # instead of a negate + multiply temporary pair
+        # instead of a negate + multiply temporary pair.  They are
+        # imaginary (i k), so the working precision maps to a complex
+        # dtype (complex64 on the float32 path).
+        cplx = np.complex64 if self._dtype == np.float32 else np.complex128
         self._neg_grad_kernels = tuple(
-            -super_lanczos_gradient(kc, self.spacing, self.gradient_order)
+            (-super_lanczos_gradient(
+                kc, self.spacing, self.gradient_order
+            )).astype(cplx, copy=False)
             for kc in (kx, ky, kz)
         )
         self._threaded_cic = None
@@ -171,17 +197,36 @@ class SpectralPoissonSolver:
     # ------------------------------------------------------------------
     # instrumented transforms
     # ------------------------------------------------------------------
+    def _fft_module(self):
+        """``scipy.fft`` for the float32 path (it preserves single
+        precision: float32 -> complex64), ``numpy.fft`` for float64
+        (the historical, bitwise-stable default).  Falls back to
+        ``numpy.fft`` + an explicit downcast when scipy is absent."""
+        if self._dtype == np.float32:
+            try:
+                import scipy.fft as sfft
+
+                return sfft
+            except ImportError:  # pragma: no cover - scipy is baked in
+                pass
+        return np.fft
+
     def _forward(self, delta: np.ndarray) -> np.ndarray:
         reg = get_registry()
+        fft = self._fft_module()
         with reg.span("fft.forward"):
-            out = np.fft.rfftn(delta)
+            out = fft.rfftn(delta.astype(self._dtype, copy=False))
+            if self._dtype == np.float32 and out.dtype != np.complex64:
+                out = out.astype(np.complex64)  # numpy.fft fallback
         reg.count("fft.forward_points", delta.size)
         return out
 
     def _inverse(self, field_k: np.ndarray) -> np.ndarray:
         reg = get_registry()
+        fft = self._fft_module()
         with reg.span("fft.inverse"):
-            out = np.fft.irfftn(field_k, s=(self.n,) * 3, axes=(0, 1, 2))
+            out = fft.irfftn(field_k, s=(self.n,) * 3, axes=(0, 1, 2))
+            out = out.astype(self._dtype, copy=False)
         reg.count("fft.inverse_points", out.size)
         return out
 
@@ -205,17 +250,24 @@ class SpectralPoissonSolver:
         the deposit and the three force gathers (four passes, one index
         computation).
         """
-        coords = ParticleGridCoords(positions, self.n, self.box_size)
+        dt = self._dtype
+        coords = ParticleGridCoords(
+            positions, self.n, self.box_size, dtype=dt
+        )
         if self._parallel():
             counts = self._deposit_parallel(positions, weights)
         else:
             counts = cic_deposit(
-                positions, self.n, self.box_size, weights, coords=coords
+                positions, self.n, self.box_size, weights,
+                coords=coords,
+                dtype=dt, backend=self.kernel_backend,
             )
-        mean = counts.mean()
+        # the mean reduces ~n^3 values: accumulate it in float64 even on
+        # the float32 path (a scalar, so this is not an array upcast)
+        mean = counts.mean(dtype=np.float64)
         if mean <= 0:
             raise ValueError("empty particle distribution")
-        delta = counts / mean - 1.0
+        delta = counts / counts.dtype.type(mean) - counts.dtype.type(1.0)
         forces = self.force_grids(delta)
         if self._parallel():
             comps = self.executor.map_inprocess(
@@ -225,7 +277,10 @@ class SpectralPoissonSolver:
             )
         else:
             comps = [
-                cic_interpolate(f, positions, self.box_size, coords=coords)
+                cic_interpolate(
+                    f, positions, self.box_size, coords=coords,
+                    dtype=dt, backend=self.kernel_backend,
+                )
                 for f in forces
             ]
         acc = np.stack(comps, axis=1)
@@ -237,7 +292,8 @@ class SpectralPoissonSolver:
         """One CIC force gather (reads the shared precomputed coords)."""
         force, positions, coords = payload
         return cic_interpolate(
-            force, positions, self.box_size, coords=coords
+            force, positions, self.box_size, coords=coords,
+            dtype=self._dtype, backend=self.kernel_backend,
         )
 
     def _deposit_parallel(self, positions, weights) -> np.ndarray:
@@ -256,6 +312,8 @@ class SpectralPoissonSolver:
                 self.executor.n_workers,
                 strategy="privatize",
                 executor=self.executor,
+                dtype=None if self.dtype is None else self._dtype,
+                kernel_backend=self.kernel_backend,
             )
             self._threaded_cic = tc
         return tc.deposit(positions, self.n, self.box_size, weights)

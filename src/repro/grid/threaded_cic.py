@@ -33,15 +33,21 @@ __all__ = ["ThreadedCIC", "DepositReport"]
 
 
 def _deposit_chunk(payload) -> np.ndarray:
-    """One worker's private-grid deposit (module-level: picklable)."""
-    pos_ref, w_ref, start, stop, n, box = payload
+    """One worker's private-grid deposit (module-level: picklable).
+
+    The kernel backend travels by *name* in the payload so process
+    workers re-resolve it locally (backend instances are not picklable).
+    """
+    pos_ref, w_ref, start, stop, n, box, dtype, backend = payload
     if stop <= start:
-        return np.zeros((n, n, n))
+        return np.zeros((n, n, n), dtype=np.float64 if dtype is None else dtype)
     from repro.parallel.executor import resolve_shared
 
     pos = resolve_shared(pos_ref)
     w = resolve_shared(w_ref)
-    return cic_deposit(pos[start:stop], n, box, w[start:stop])
+    return cic_deposit(
+        pos[start:stop], n, box, w[start:stop], dtype=dtype, backend=backend
+    )
 
 
 @dataclass(frozen=True)
@@ -77,6 +83,13 @@ class ThreadedCIC:
         Optional :class:`repro.parallel.executor.RankExecutor` running
         the ``"privatize"`` chunk deposits concurrently.  ``None``
         (default) keeps the sequential simulation of the partition.
+    dtype:
+        Grid precision (default float64; pass ``np.float32`` for the
+        mixed-precision PM path).
+    kernel_backend:
+        Kernel backend *name* performing the per-chunk scatters
+        (``None`` = NumPy reference).  A name rather than an instance so
+        executor payloads stay picklable.
     """
 
     STRATEGIES = ("privatize", "slab")
@@ -86,6 +99,8 @@ class ThreadedCIC:
         n_workers: int = 4,
         strategy: str = "privatize",
         executor=None,
+        dtype=None,
+        kernel_backend: str | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1: {n_workers}")
@@ -94,6 +109,8 @@ class ThreadedCIC:
         self.n_workers = int(n_workers)
         self.strategy = strategy
         self.executor = executor
+        self.dtype = None if dtype is None else np.dtype(dtype)
+        self.kernel_backend = kernel_backend
         self.last_report: DepositReport | None = None
 
     # ------------------------------------------------------------------
@@ -105,12 +122,13 @@ class ThreadedCIC:
         weights: np.ndarray | None = None,
     ) -> np.ndarray:
         """CIC deposit, identical in result to :func:`cic_deposit`."""
-        pos = np.asarray(positions, dtype=np.float64)
+        wdt = np.float64 if self.dtype is None else self.dtype
+        pos = np.asarray(positions, dtype=wdt)
         npart = pos.shape[0]
         w = (
-            np.ones(npart)
+            np.ones(npart, dtype=wdt)
             if weights is None
-            else np.asarray(weights, dtype=np.float64)
+            else np.asarray(weights, dtype=wdt)
         )
         if self.strategy == "privatize":
             return self._privatize(pos, n, box_size, w)
@@ -126,23 +144,35 @@ class ThreadedCIC:
             pos_ref = ex.share("cic.positions", pos)
             w_ref = ex.share("cic.weights", w)
             payloads, start = [], 0
+            dt_name = None if self.dtype is None else self.dtype.name
             for c in chunks:
                 payloads.append(
-                    (pos_ref, w_ref, start, start + c.size, n, box)
+                    (
+                        pos_ref, w_ref, start, start + c.size, n, box,
+                        dt_name, self.kernel_backend,
+                    )
                 )
                 start += c.size
             grids = ex.map(_deposit_chunk, payloads, label="cic.deposit")
         else:
             grids = [
-                cic_deposit(pos[c], n, box, w[c])
+                cic_deposit(
+                    pos[c], n, box, w[c],
+                    dtype=self.dtype, backend=self.kernel_backend,
+                )
                 if c.size
-                else np.zeros((n, n, n))
+                else np.zeros(
+                    (n, n, n),
+                    dtype=np.float64 if self.dtype is None else self.dtype,
+                )
                 for c in chunks
             ]
         self.last_report = DepositReport(
             n_workers=self.n_workers,
             particles_per_worker=tuple(int(c.size) for c in chunks),
-            private_grid_bytes=self.n_workers * n**3 * 8,
+            private_grid_bytes=self.n_workers * n**3 * (
+                8 if self.dtype is None else self.dtype.itemsize
+            ),
         )
         # fixed-order tree reduction
         while len(grids) > 1:
@@ -160,7 +190,8 @@ class ThreadedCIC:
         scaled = np.where(scaled >= n, scaled - n, scaled)
         base_x = np.minimum(scaled.astype(np.int64), n - 1)
         owner = base_x * self.n_workers // n
-        grid = np.zeros((n, n, n))
+        gdt = np.dtype(np.float64) if self.dtype is None else self.dtype
+        grid = np.zeros((n, n, n), dtype=gdt)
         counts = []
         for worker in range(self.n_workers):
             sel = owner == worker
@@ -171,10 +202,13 @@ class ThreadedCIC:
                 # grid is safe here because workers run in sequence — a
                 # real implementation gives the boundary column to the
                 # owner via a second pass
-                grid += cic_deposit(pos[sel], n, box, w[sel])
+                grid += cic_deposit(
+                    pos[sel], n, box, w[sel],
+                    dtype=self.dtype, backend=self.kernel_backend,
+                )
         self.last_report = DepositReport(
             n_workers=self.n_workers,
             particles_per_worker=tuple(counts),
-            private_grid_bytes=n**3 * 8,
+            private_grid_bytes=n**3 * gdt.itemsize,
         )
         return grid

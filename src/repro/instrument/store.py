@@ -86,6 +86,8 @@ class RunEntry:
     backend: str | None = None
     executor: str | None = None
     workers: int | None = None
+    kernel_backend: str | None = None
+    precision: str | None = None
     n_steps: int | None = None
     n_particles: int | None = None
     git_rev: str | None = None
@@ -105,6 +107,8 @@ class RunEntry:
             "backend": self.backend,
             "executor": self.executor,
             "workers": self.workers,
+            "kernel_backend": self.kernel_backend,
+            "precision": self.precision,
             "n_steps": self.n_steps,
             "n_particles": self.n_particles,
             "git_rev": self.git_rev,
@@ -120,7 +124,8 @@ class RunEntry:
     def from_dict(cls, rec: dict) -> "RunEntry":
         known = {f: rec.get(f) for f in (
             "run_id", "created_unix", "config_hash", "seed", "backend",
-            "executor", "workers", "n_steps", "n_particles", "git_rev",
+            "executor", "workers", "kernel_backend", "precision",
+            "n_steps", "n_particles", "git_rev",
             "verdict", "wall_s", "steps_completed", "alerts",
         )}
         known["created_unix"] = float(known.get("created_unix") or 0.0)
@@ -141,6 +146,8 @@ class RunEntry:
             "backend": self.backend,
             "executor": self.executor,
             "workers": self.workers,
+            "kernel_backend": self.kernel_backend,
+            "precision": self.precision,
             "git_rev": self.git_rev,
         }
 
@@ -249,6 +256,8 @@ class RunLedger:
             backend=manifest.get("backend"),
             executor=manifest.get("executor"),
             workers=manifest.get("workers"),
+            kernel_backend=manifest.get("kernel_backend"),
+            precision=manifest.get("precision"),
             n_steps=manifest.get("n_steps"),
             n_particles=manifest.get("n_particles"),
             git_rev=manifest.get("git_rev") or git_revision(),
@@ -315,6 +324,8 @@ class RunLedger:
         backend: str | None = None,
         executor: str | None = None,
         workers: int | None = None,
+        kernel_backend: str | None = None,
+        precision: str | None = None,
         git_rev: str | None = None,
         verdict: str | None = None,
     ) -> list[RunEntry]:
@@ -330,6 +341,11 @@ class RunLedger:
             if executor is not None and e.executor != executor:
                 continue
             if workers is not None and e.workers != workers:
+                continue
+            if kernel_backend is not None \
+                    and e.kernel_backend != kernel_backend:
+                continue
+            if precision is not None and e.precision != precision:
                 continue
             if git_rev is not None and e.git_rev != git_rev:
                 continue

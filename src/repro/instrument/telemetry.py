@@ -335,6 +335,10 @@ def run_manifest(config=None, extra: Mapping | None = None) -> dict:
         manifest["backend"] = config.backend
         manifest["executor"] = getattr(config, "executor", "serial")
         manifest["workers"] = getattr(config, "workers", 1)
+        manifest["kernel_backend"] = getattr(
+            config, "kernel_backend", "auto"
+        )
+        manifest["precision"] = getattr(config, "dtype", "f64")
     if extra:
         manifest.update(dict(extra))
     return manifest

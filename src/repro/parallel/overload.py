@@ -165,17 +165,24 @@ class OverloadExchange:
         on exactly one rank and passive on every rank whose overload shell
         contains it.
         """
-        pos = np.mod(np.asarray(positions, dtype=np.float64), self.decomposition.box_size)
-        mom = np.asarray(momenta, dtype=np.float64)
+        # float32 state stays float32 across the scatter (mixed precision)
+        dt = np.asarray(positions).dtype
+        if dt not in (np.float32, np.float64):
+            dt = np.dtype(np.float64)
+        pos = np.mod(
+            np.asarray(positions, dtype=dt),
+            dt.type(self.decomposition.box_size),
+        )
+        mom = np.asarray(momenta, dtype=dt)
         n = pos.shape[0]
         if mom.shape != pos.shape:
             raise ValueError(
                 f"momenta shape {mom.shape} != positions shape {pos.shape}"
             )
         mas = (
-            np.ones(n, dtype=np.float64)
+            np.ones(n, dtype=dt)
             if masses is None
-            else np.asarray(masses, dtype=np.float64)
+            else np.asarray(masses, dtype=dt)
         )
         pid = (
             np.arange(n, dtype=np.int64)

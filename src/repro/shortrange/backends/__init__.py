@@ -1,0 +1,261 @@
+"""Pluggable short-range kernel backends.
+
+The HACC 2014 follow-up paper describes the framework's central
+architectural bet: *one* long-range spectral solver shared everywhere,
+plus *swappable, per-architecture short-range kernels* — QPX intrinsics
+on the BG/Q, CUDA on Titan, OpenCL on Roadrunner — all implementing the
+same narrow force-kernel contract.  This package is that seam for the
+reproduction.  A backend supplies four primitives:
+
+``f_sr_pairs``
+    The 26-instruction-kernel analogue: the short-range force
+    coefficient ``(s + eps)^{-3/2} - poly_5(s)`` for a pre-compressed
+    array of in-cutoff squared separations.
+``pair_accumulate``
+    The full CSR interaction-batch evaluation — separations, cutoff
+    test, coefficient, per-target accumulation — the hot loop of the
+    short-range phase.
+``cic_deposit`` / ``cic_gather``
+    The particle-mesh scatter/gather pair over precomputed CIC corner
+    indices and trilinear weights (four passes per PM half-kick).
+
+Three implementations ride the seam:
+
+* ``numpy`` — the vectorized reference (always available); exactly the
+  tiled, workspace-reusing evaluation of the batched-engine PR.
+* ``numba`` — ``@njit(parallel=True)`` compiled loops, lazily compiled
+  on first use.  The float32 variant compiles with ``fastmath=True``
+  (the paper's mixed-precision kernel); the float64 variant compiles
+  strict-IEEE so its results are **bitwise identical** to the numpy
+  reference.  Automatically unavailable when numba is not importable.
+* ``cupy`` — the same contract on a CUDA device, available only when
+  cupy imports *and* sees a GPU.
+
+Selection goes through :func:`resolve_backend`; ``"auto"`` picks the
+fastest available CPU backend (numba, else numpy), never silently a
+GPU.  Unavailable explicit requests raise :class:`BackendUnavailable`
+instead of degrading quietly.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = [
+    "KernelBackend",
+    "BackendUnavailable",
+    "available_backends",
+    "backend_names",
+    "get_backend",
+    "resolve_backend",
+]
+
+#: registry order is the ``auto`` preference order (CPU-only)
+_BACKEND_NAMES = ("numpy", "numba", "cupy")
+_AUTO_ORDER = ("numba", "numpy")
+
+
+class BackendUnavailable(RuntimeError):
+    """An explicitly requested backend cannot run in this environment."""
+
+
+class KernelBackend(ABC):
+    """The stable kernel contract every backend implements.
+
+    All array arguments arrive in the *kernel precision* (float32 or
+    float64) chosen by the caller; a backend must neither upcast nor
+    downcast — mixed precision is the caller's policy, not the
+    backend's.  Scalars (``eps``, ``rc2_cells``, ``inv_sp2``) arrive as
+    zero-dimensional scalars of the same dtype.
+    """
+
+    #: registry key; also what run manifests record
+    name: str = "?"
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def f_sr_pairs(
+        self,
+        s_cells: np.ndarray,
+        coeffs: np.ndarray,
+        eps,
+        out: np.ndarray,
+        scratch: np.ndarray,
+    ) -> np.ndarray:
+        """Short-range coefficient for pre-compressed in-cutoff pairs.
+
+        ``s_cells`` are squared separations in cell units, every entry
+        already satisfying ``0 < s < rcut_cells^2``; ``coeffs`` is the
+        grid-force polynomial (ascending order) in the kernel dtype.
+        Writes ``(s+eps)^{-3/2} - poly(s)`` into ``out`` (same shape,
+        kernel dtype), may clobber ``scratch``, returns ``out``.
+        """
+
+    @abstractmethod
+    def pair_accumulate(
+        self,
+        targets: np.ndarray,
+        target_offsets: np.ndarray,
+        neighbor_indices: np.ndarray,
+        neighbor_offsets: np.ndarray,
+        px: np.ndarray,
+        py: np.ndarray,
+        pz: np.ndarray,
+        msc: np.ndarray,
+        coeffs: np.ndarray,
+        eps,
+        rc2_cells,
+        inv_sp2,
+        chunk_pairs: int,
+        acc: np.ndarray,
+        workspace,
+    ) -> int:
+        """Evaluate a CSR interaction batch into ``acc``; returns the
+        number of in-cutoff pairs actually evaluated.
+
+        ``(targets, target_offsets, neighbor_indices, neighbor_offsets)``
+        are the :class:`~repro.shortrange.batch.InteractionBatch` arrays;
+        ``px/py/pz`` the SOA coordinates, ``msc`` the masses already
+        scaled by ``1/spacing^3`` — all in the kernel dtype.  ``acc`` is
+        an ``(N, 3)`` kernel-dtype array accumulated in place with the
+        attractive sign.  ``workspace`` is the engine's grow-only
+        :class:`~repro.shortrange.batch.Workspace`; backends that do not
+        tile through scratch buffers may ignore it.
+        """
+
+    @abstractmethod
+    def cic_deposit(
+        self,
+        flat: np.ndarray,
+        corner_weights: np.ndarray,
+        values: np.ndarray,
+        ncells: int,
+    ) -> np.ndarray:
+        """Scatter ``values`` onto a flattened grid of ``ncells`` points.
+
+        ``flat`` is the ``(8, N)`` int64 array of flattened corner
+        indices and ``corner_weights`` the matching ``(8, N)`` trilinear
+        weights (kernel dtype).  Returns the ``(ncells,)`` grid in the
+        ``corner_weights`` dtype.
+        """
+
+    @abstractmethod
+    def cic_gather(
+        self,
+        grid_flat: np.ndarray,
+        flat: np.ndarray,
+        corner_weights: np.ndarray,
+    ) -> np.ndarray:
+        """Adjoint of :meth:`cic_deposit`: per-particle trilinear gather
+        from a flattened grid.  Returns an ``(N,)`` array in the
+        ``corner_weights`` dtype."""
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def available(cls) -> bool:
+        """Whether this backend can run in the current environment."""
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<KernelBackend {self.name}>"
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+_INSTANCES: dict[str, KernelBackend] = {}
+
+
+def backend_names() -> tuple[str, ...]:
+    """All registered backend names, available or not."""
+    return _BACKEND_NAMES
+
+
+def _make(name: str) -> KernelBackend:
+    """Import and construct a backend (may raise BackendUnavailable)."""
+    if name == "numpy":
+        from repro.shortrange.backends.numpy_backend import NumpyBackend
+
+        return NumpyBackend()
+    if name == "numba":
+        from repro.shortrange.backends.numba_backend import NumbaBackend
+
+        if not NumbaBackend.available():
+            raise BackendUnavailable(
+                "kernel backend 'numba' requested but numba is not "
+                "importable in this environment"
+            )
+        return NumbaBackend()
+    if name == "cupy":
+        from repro.shortrange.backends.cupy_backend import CupyBackend
+
+        if not CupyBackend.available():
+            raise BackendUnavailable(
+                "kernel backend 'cupy' requested but cupy (with a "
+                "visible CUDA device) is not available"
+            )
+        return CupyBackend()
+    raise ValueError(
+        f"unknown kernel backend {name!r}; choose from "
+        f"{('auto',) + _BACKEND_NAMES}"
+    )
+
+
+def get_backend(name: str) -> KernelBackend:
+    """The backend registered as ``name`` (cached singletons).
+
+    Raises :class:`BackendUnavailable` when the environment cannot run
+    it, :class:`ValueError` for unknown names.
+    """
+    inst = _INSTANCES.get(name)
+    if inst is None:
+        inst = _make(name)
+        _INSTANCES[name] = inst
+    return inst
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of the backends that can actually run here, in registry
+    order (``numpy`` is always first and always present)."""
+    out = []
+    for name in _BACKEND_NAMES:
+        try:
+            get_backend(name)
+        except BackendUnavailable:
+            continue
+        out.append(name)
+    return tuple(out)
+
+
+def resolve_backend(choice) -> KernelBackend:
+    """Resolve a user/config selection to a live backend instance.
+
+    ``choice`` may be a :class:`KernelBackend` (returned as-is), one of
+    the registered names, ``"auto"`` or ``None`` (both meaning "fastest
+    available CPU backend": numba when importable, else numpy).
+    Explicit names that cannot run raise :class:`BackendUnavailable` —
+    a requested accelerator silently falling back to the interpreter is
+    exactly the failure mode the seam exists to make loud.
+    """
+    if isinstance(choice, KernelBackend):
+        return choice
+    if choice is None or choice == "auto":
+        for name in _AUTO_ORDER:
+            # probe cheaply before importing: find_spec never executes
+            # the package, so a missing numba costs ~nothing per call
+            if name != "numpy" and importlib.util.find_spec(name) is None:
+                continue
+            try:
+                return get_backend(name)
+            except BackendUnavailable:
+                continue
+        return get_backend("numpy")
+    if not isinstance(choice, str):
+        raise TypeError(
+            f"kernel backend must be a name or KernelBackend, got "
+            f"{type(choice).__name__}"
+        )
+    return get_backend(choice)

@@ -1,0 +1,135 @@
+"""CuPy kernel backend (optional, CUDA-device only).
+
+The GPU counterpart of the seam — HACC's Titan/Roadrunner short-range
+kernels in spirit: the *same* CSR interaction batches the CPU backends
+consume, evaluated with device-resident arrays.  The implementation is a
+straightforward whole-group evaluation (one (targets x sources)
+separation block per RCB leaf / P3M cell, masked and reduced on device)
+— functional and exact rather than hand-tuned; it exists to prove the
+contract is architecture-portable, exactly the HACC 2014 argument.
+
+The backend reports :meth:`available` only when cupy imports *and* a
+CUDA device is visible, so the registry never routes to a GPU that is
+not there.  All transfers happen at the call boundary; results come
+back as NumPy arrays in the caller's dtype.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.shortrange.backends import KernelBackend
+
+__all__ = ["CupyBackend"]
+
+
+def _cupy():
+    import cupy
+
+    return cupy
+
+
+class CupyBackend(KernelBackend):
+    """CUDA backend riding the same seam (unoptimized reference)."""
+
+    name = "cupy"
+
+    @classmethod
+    def available(cls) -> bool:
+        try:  # pragma: no cover - requires CUDA hardware
+            cp = _cupy()
+            return int(cp.cuda.runtime.getDeviceCount()) > 0
+        except Exception:
+            return False
+
+    # ------------------------------------------------------------------
+    def _coeff(self, cp, s, coeffs_d, eps):
+        dt = s.dtype.type
+        x = s + dt(eps)
+        newton = dt(1.0) / (cp.sqrt(x) * x)
+        poly = cp.full_like(s, coeffs_d[-1])
+        for ci in range(coeffs_d.shape[0] - 2, -1, -1):
+            poly = poly * s + coeffs_d[ci]
+        return newton - poly
+
+    def f_sr_pairs(self, s_cells, coeffs, eps, out, scratch):
+        cp = _cupy()
+        s_d = cp.asarray(s_cells)
+        res = self._coeff(cp, s_d, cp.asarray(coeffs), eps)
+        out[...] = cp.asnumpy(res)
+        return out
+
+    # ------------------------------------------------------------------
+    def pair_accumulate(
+        self,
+        targets,
+        target_offsets,
+        neighbor_indices,
+        neighbor_offsets,
+        px,
+        py,
+        pz,
+        msc,
+        coeffs,
+        eps,
+        rc2_cells,
+        inv_sp2,
+        chunk_pairs,
+        acc,
+        workspace,
+    ):
+        cp = _cupy()
+        dt = px.dtype.type
+        px_d, py_d, pz_d = cp.asarray(px), cp.asarray(py), cp.asarray(pz)
+        msc_d = cp.asarray(msc)
+        coeffs_d = cp.asarray(coeffs)
+        acc_d = cp.zeros(acc.shape, dtype=acc.dtype)
+        to = target_offsets
+        no = neighbor_offsets
+        inside_pairs = 0
+        for g in range(to.size - 1):
+            nt = int(to[g + 1] - to[g])
+            ns = int(no[g + 1] - no[g])
+            if nt == 0 or ns == 0:
+                continue
+            tidx = cp.asarray(targets[to[g] : to[g + 1]])
+            nidx = cp.asarray(neighbor_indices[no[g] : no[g + 1]])
+            dx = px_d[tidx][:, None] - px_d[nidx][None, :]
+            dy = py_d[tidx][:, None] - py_d[nidx][None, :]
+            dz = pz_d[tidx][:, None] - pz_d[nidx][None, :]
+            s2 = ((dx * dx) + (dy * dy) + (dz * dz)) * dt(inv_sp2)
+            inside = (s2 > 0) & (s2 < dt(rc2_cells))
+            inside_pairs += int(inside.sum())
+            f = cp.where(
+                inside, self._coeff(cp, s2, coeffs_d, eps), dt(0.0)
+            )
+            f = f * msc_d[nidx][None, :]
+            acc_d[tidx, 0] -= (f * dx).sum(axis=1)
+            acc_d[tidx, 1] -= (f * dy).sum(axis=1)
+            acc_d[tidx, 2] -= (f * dz).sum(axis=1)
+        acc += cp.asnumpy(acc_d)
+        return inside_pairs
+
+    # ------------------------------------------------------------------
+    def cic_deposit(self, flat, corner_weights, values, ncells):
+        cp = _cupy()
+        dt = corner_weights.dtype
+        flat_d = cp.asarray(flat)
+        cw_d = cp.asarray(corner_weights)
+        v_d = cp.asarray(values)
+        grid = cp.zeros(ncells, dtype=dt)
+        for c in range(8):
+            grid += cp.bincount(
+                flat_d[c], weights=v_d * cw_d[c], minlength=ncells
+            ).astype(dt, copy=False)
+        return cp.asnumpy(grid)
+
+    def cic_gather(self, grid_flat, flat, corner_weights):
+        cp = _cupy()
+        g_d = cp.asarray(grid_flat)
+        flat_d = cp.asarray(flat)
+        cw_d = cp.asarray(corner_weights)
+        out = cp.zeros(flat.shape[1], dtype=corner_weights.dtype)
+        for c in range(8):
+            out += g_d[flat_d[c]] * cw_d[c]
+        return cp.asnumpy(out)

@@ -1,0 +1,182 @@
+"""The vectorized NumPy reference backend.
+
+This is the batched-engine PR's tiled evaluation, moved behind the
+backend seam: fixed-size (targets x sources) tiles bound the temporary
+footprint, out-of-cutoff pairs are compressed away before the expensive
+kernel math, and per-target accumulation goes through ``np.bincount``.
+Every other backend is validated against this one — bitwise in float64
+for the numba backend, tolerance-pinned in float32.
+
+The implementation is deliberately allocation-free in steady state: all
+tile temporaries live in the engine's grow-only
+:class:`~repro.shortrange.batch.Workspace`, which the engine passes in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.shortrange.backends import KernelBackend
+
+__all__ = ["NumpyBackend"]
+
+
+class NumpyBackend(KernelBackend):
+    """Always-available interpreter-vectorized reference backend."""
+
+    name = "numpy"
+
+    # ------------------------------------------------------------------
+    def f_sr_pairs(self, s_cells, coeffs, eps, out, scratch):
+        dt = s_cells.dtype.type
+        np.add(s_cells, eps, out=scratch)  # x = s + eps
+        np.sqrt(scratch, out=out)
+        out *= scratch  # x^{3/2}
+        np.divide(dt(1.0), out, out=out)  # Newtonian branch
+        scratch.fill(coeffs[-1])
+        for c in coeffs[-2::-1]:
+            scratch *= s_cells
+            scratch += c
+        out -= scratch
+        return out
+
+    # ------------------------------------------------------------------
+    def pair_accumulate(
+        self,
+        targets,
+        target_offsets,
+        neighbor_indices,
+        neighbor_offsets,
+        px,
+        py,
+        pz,
+        msc,
+        coeffs,
+        eps,
+        rc2_cells,
+        inv_sp2,
+        chunk_pairs,
+        acc,
+        workspace,
+    ):
+        dt = px.dtype
+        ws = workspace
+        to = target_offsets
+        no = neighbor_offsets
+        tcounts = np.diff(to)
+        ncounts = np.diff(no)
+        inside_pairs = 0
+        for g in range(to.size - 1):
+            nt, ns = int(tcounts[g]), int(ncounts[g])
+            if nt == 0 or ns == 0:
+                continue
+            tidx = targets[to[g] : to[g + 1]]
+            nidx = neighbor_indices[no[g] : no[g + 1]]
+            tx = ws.get("tx", nt, dt)
+            ty = ws.get("ty", nt, dt)
+            tz = ws.get("tz", nt, dt)
+            np.take(px, tidx, out=tx)
+            np.take(py, tidx, out=ty)
+            np.take(pz, tidx, out=tz)
+            # group accumulator in the kernel dtype: the f32 path stays
+            # f32 end to end (bincount's float64 partials are explicitly
+            # folded back down — the only remaining interior upcast)
+            gacc = ws.get("gacc", nt * 3, dt).reshape(nt, 3)
+            gacc.fill(0.0)
+            cs = min(ns, chunk_pairs)
+            ct = min(nt, max(1, chunk_pairs // cs))
+            for s0 in range(0, ns, cs):
+                s1 = min(s0 + cs, ns)
+                csz = s1 - s0
+                src = nidx[s0:s1]
+                sx = ws.get("sx", csz, dt)
+                sy = ws.get("sy", csz, dt)
+                sz = ws.get("sz", csz, dt)
+                sm = ws.get("sm", csz, dt)
+                np.take(px, src, out=sx)
+                np.take(py, src, out=sy)
+                np.take(pz, src, out=sz)
+                np.take(msc, src, out=sm)
+                for t0 in range(0, nt, ct):
+                    t1 = min(t0 + ct, nt)
+                    inside_pairs += self._tile(
+                        ws,
+                        tx[t0:t1], ty[t0:t1], tz[t0:t1],
+                        sx, sy, sz, sm,
+                        coeffs, eps, inv_sp2, rc2_cells,
+                        gacc[t0:t1],
+                    )
+            acc[tidx] += gacc
+        return inside_pairs
+
+    def _tile(
+        self, ws, tx, ty, tz, sx, sy, sz, sm,
+        coeffs, eps, inv_sp2, rc2_cells, gacc,
+    ) -> int:
+        """One (targets x sources) tile: separations, compress, kernel,
+        scatter.  Returns the number of in-cutoff pairs evaluated."""
+        dt = tx.dtype
+        ctz, csz = tx.shape[0], sx.shape[0]
+        npair = ctz * csz
+        dx = ws.get("dx", npair, dt).reshape(ctz, csz)
+        dy = ws.get("dy", npair, dt).reshape(ctz, csz)
+        dz = ws.get("dz", npair, dt).reshape(ctz, csz)
+        s2 = ws.get("s2", npair, dt).reshape(ctz, csz)
+        tmp = ws.get("tmp", npair, dt).reshape(ctz, csz)
+        np.subtract(tx[:, None], sx[None, :], out=dx)
+        np.subtract(ty[:, None], sy[None, :], out=dy)
+        np.subtract(tz[:, None], sz[None, :], out=dz)
+        np.multiply(dx, dx, out=s2)
+        np.multiply(dy, dy, out=tmp)
+        s2 += tmp
+        np.multiply(dz, dz, out=tmp)
+        s2 += tmp
+        s2 *= inv_sp2  # squared separations in cell units
+        inside = ws.get("inside", npair, np.bool_).reshape(ctz, csz)
+        mask2 = ws.get("mask2", npair, np.bool_).reshape(ctz, csz)
+        np.greater(s2, 0.0, out=inside)
+        np.less(s2, rc2_cells, out=mask2)
+        inside &= mask2
+        # compress: the expensive kernel math only touches in-cutoff pairs
+        idx = np.flatnonzero(inside.ravel())
+        k = idx.size
+        if k == 0:
+            return 0
+        sc = ws.get("sc", k, dt)
+        np.take(s2.ravel(), idx, out=sc)
+        f = ws.get("f", k, dt)
+        scratch = ws.get("scratch", k, dt)
+        self.f_sr_pairs(sc, coeffs, eps, f, scratch)
+        row = ws.get("row", k, np.int64)
+        col = ws.get("col", k, np.int64)
+        np.floor_divide(idx, csz, out=row)
+        np.multiply(row, csz, out=col)
+        np.subtract(idx, col, out=col)
+        np.take(sm, col, out=scratch)
+        f *= scratch  # coefficient * m_j / spacing^3
+        grab = ws.get("grab", k, dt)
+        for comp, d in enumerate((dx, dy, dz)):
+            np.take(d.ravel(), idx, out=grab)
+            grab *= f
+            gacc[:, comp] -= np.bincount(
+                row, weights=grab, minlength=ctz
+            ).astype(dt, copy=False)
+        return k
+
+    # ------------------------------------------------------------------
+    def cic_deposit(self, flat, corner_weights, values, ncells):
+        dt = corner_weights.dtype
+        grid = np.zeros(ncells, dtype=dt)
+        for c in range(8):
+            grid += np.bincount(
+                flat[c],
+                weights=values * corner_weights[c],
+                minlength=ncells,
+            ).astype(dt, copy=False)
+        return grid
+
+    def cic_gather(self, grid_flat, flat, corner_weights):
+        out = np.zeros(flat.shape[1], dtype=corner_weights.dtype)
+        for c in range(8):
+            out += grid_flat[flat[c]] * corner_weights[c]
+        return out

@@ -33,6 +33,13 @@ The engine is geometry-agnostic: the RCB tree, the multi-tree solver and
 the P3M chaining mesh all reduce their neighborhoods to an
 :class:`InteractionBatch` and share one evaluation loop, the way every
 HACC backend funnels into the same force kernel.
+
+The evaluation itself dispatches through the pluggable kernel-backend
+seam (:mod:`repro.shortrange.backends`): the engine prepares the SOA
+coordinate/mass streams once per batch, then hands the CSR arrays to the
+selected backend's ``pair_accumulate`` — the vectorized NumPy reference,
+the numba-compiled loops, or the CuPy device kernels, all charging the
+identical ``pp.interactions`` count.
 """
 
 from __future__ import annotations
@@ -42,6 +49,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.instrument import get_registry
+from repro.shortrange.backends import get_backend, resolve_backend
 from repro.shortrange.kernel import ShortRangeKernel
 from repro.shortrange.rcb_tree import RCBTree, ranges_to_indices
 
@@ -181,8 +189,9 @@ def batch_box_query(
     calls of the scalar walk — the packing pass's whole cost is a few
     dozen array operations regardless of leaf count.
     """
-    qlo = np.atleast_2d(np.asarray(qlo, dtype=np.float64))
-    qhi = np.atleast_2d(np.asarray(qhi, dtype=np.float64))
+    box_dt = _float_dtype(tree.node_lo)
+    qlo = np.atleast_2d(np.asarray(qlo, dtype=box_dt))
+    qhi = np.atleast_2d(np.asarray(qhi, dtype=box_dt))
     nq = qlo.shape[0]
     e = np.empty(0, dtype=np.int64)
     if nq == 0 or tree.n_nodes == 0:
@@ -214,6 +223,12 @@ def batch_box_query(
     hn = np.concatenate(hits_n)
     order = np.lexsort((tree.node_start[hn], hq))
     return hq[order], hn[order]
+
+
+def _float_dtype(a: np.ndarray):
+    """Preserve float32/float64; anything else becomes float64."""
+    dt = np.asarray(a).dtype
+    return dt if dt in (np.float32, np.float64) else np.float64
 
 
 def pack_tree(
@@ -271,26 +286,47 @@ class BatchedPairEngine:
         Upper bound on pairs materialized at once.  Each (targets x
         sources) tile is sized so ``tile_targets * tile_sources <=
         chunk_pairs``; all tile temporaries live in reused workspaces.
+        (Loop-based backends evaluate pair-by-pair and ignore it.)
+    backend:
+        Kernel backend executing the pair loop: a
+        :class:`~repro.shortrange.backends.KernelBackend` instance, a
+        registered name (``"numpy"``, ``"numba"``, ``"cupy"``),
+        ``"auto"`` (fastest available CPU backend), or ``None`` for the
+        NumPy reference — the engine's historical behavior and the
+        default, so direct constructions stay deterministic across
+        environments; ``"auto"`` is opted into via the simulation
+        config.
 
     Notes
     -----
-    Pair arithmetic runs in ``kernel.dtype`` (the paper's mixed-precision
-    option); the final per-target scatter accumulates into float64, like
-    the solver-level acceleration arrays.  ``pp.interactions`` counts
-    every (target, neighbor) pair of the batch — identical to the naive
-    per-leaf path by construction, which the equivalence suite asserts.
+    Pair arithmetic *and* accumulation run in ``kernel.dtype`` (the
+    paper's mixed-precision option): with ``dtype=np.float32`` the
+    returned accelerations are float32, with no silent float64 upcast
+    along the hot path.  ``pp.interactions`` counts every (target,
+    neighbor) pair of the batch — identical to the naive per-leaf path
+    by construction, which the equivalence suite asserts, and identical
+    across backends, which the backend suite asserts.
     """
 
     def __init__(
         self,
         kernel: ShortRangeKernel,
         chunk_pairs: int = DEFAULT_CHUNK_PAIRS,
+        backend=None,
     ) -> None:
         if chunk_pairs < 1:
             raise ValueError(f"chunk_pairs must be >= 1: {chunk_pairs}")
         self.kernel = kernel
         self.chunk_pairs = int(chunk_pairs)
+        self.backend = (
+            get_backend("numpy") if backend is None
+            else resolve_backend(backend)
+        )
         self.workspace = Workspace()
+        #: polynomial coefficients in the kernel precision, cast once
+        self._coeffs = np.asarray(
+            kernel.fit.coefficients, dtype=kernel.dtype
+        )
         #: pair counts of the most recent :meth:`evaluate` call — the
         #: per-rank interactions gauge of the telemetry layer reads these
         self.last_pairs: int = 0
@@ -316,20 +352,21 @@ class BatchedPairEngine:
 
         Returns
         -------
-        (N, 3) float64 array; rows not named by ``batch.targets`` are 0.
+        (N, 3) array in the kernel precision; rows not named by
+        ``batch.targets`` are 0.
         """
         pos = np.asarray(positions)
         n = pos.shape[0]
         if pos.ndim != 2 or pos.shape[1] != 3:
             raise ValueError(f"positions must be (N, 3), got {pos.shape}")
-        acc = np.zeros((n, 3), dtype=np.float64)
+        kern = self.kernel
+        dt = kern.dtype
+        acc = np.zeros((n, 3), dtype=dt)
         total_pairs = batch.n_pairs
         self.last_pairs = total_pairs
         self.last_inside_pairs = 0
         if n == 0 or total_pairs == 0:
             return acc
-        kern = self.kernel
-        dt = kern.dtype
         ws = self.workspace
         reg = get_registry()
 
@@ -347,103 +384,22 @@ class BatchedPairEngine:
         inv_sp2 = dt(1.0 / kern.spacing**2)
         rc2_cells = dt(kern.fit.rcut_cells**2)
 
-        to = batch.target_offsets
-        no = batch.neighbor_offsets
-        tcounts = np.diff(to)
-        ncounts = np.diff(no)
-        inside_pairs = 0
         with reg.span("pp.batch"):
-            for g in range(batch.n_groups):
-                nt, ns = int(tcounts[g]), int(ncounts[g])
-                if nt == 0 or ns == 0:
-                    continue
-                tidx = batch.targets[to[g] : to[g + 1]]
-                nidx = batch.neighbor_indices[no[g] : no[g + 1]]
-                tx = ws.get("tx", nt, dt)
-                ty = ws.get("ty", nt, dt)
-                tz = ws.get("tz", nt, dt)
-                np.take(px, tidx, out=tx)
-                np.take(py, tidx, out=ty)
-                np.take(pz, tidx, out=tz)
-                gacc = ws.get("gacc", nt * 3, np.float64).reshape(nt, 3)
-                gacc.fill(0.0)
-                cs = min(ns, self.chunk_pairs)
-                ct = min(nt, max(1, self.chunk_pairs // cs))
-                for s0 in range(0, ns, cs):
-                    s1 = min(s0 + cs, ns)
-                    csz = s1 - s0
-                    src = nidx[s0:s1]
-                    sx = ws.get("sx", csz, dt)
-                    sy = ws.get("sy", csz, dt)
-                    sz = ws.get("sz", csz, dt)
-                    sm = ws.get("sm", csz, dt)
-                    np.take(px, src, out=sx)
-                    np.take(py, src, out=sy)
-                    np.take(pz, src, out=sz)
-                    np.take(msc, src, out=sm)
-                    for t0 in range(0, nt, ct):
-                        t1 = min(t0 + ct, nt)
-                        inside_pairs += self._tile(
-                            tx[t0:t1], ty[t0:t1], tz[t0:t1],
-                            sx, sy, sz, sm,
-                            inv_sp2, rc2_cells,
-                            gacc[t0:t1],
-                        )
-                acc[tidx] += gacc
+            inside_pairs = self.backend.pair_accumulate(
+                batch.targets,
+                batch.target_offsets,
+                batch.neighbor_indices,
+                batch.neighbor_offsets,
+                px, py, pz, msc,
+                self._coeffs,
+                dt(kern.eps_cells),
+                rc2_cells,
+                inv_sp2,
+                self.chunk_pairs,
+                acc,
+                ws,
+            )
         kern.record_interactions(total_pairs)
         reg.count("pp.batch.inside_pairs", inside_pairs)
         self.last_inside_pairs = inside_pairs
         return acc
-
-    # ------------------------------------------------------------------
-    def _tile(
-        self, tx, ty, tz, sx, sy, sz, sm, inv_sp2, rc2_cells, gacc
-    ) -> int:
-        """One (targets x sources) tile: separations, compress, kernel,
-        scatter.  Returns the number of in-cutoff pairs evaluated."""
-        ws = self.workspace
-        dt = self.kernel.dtype
-        ctz, csz = tx.shape[0], sx.shape[0]
-        npair = ctz * csz
-        dx = ws.get("dx", npair, dt).reshape(ctz, csz)
-        dy = ws.get("dy", npair, dt).reshape(ctz, csz)
-        dz = ws.get("dz", npair, dt).reshape(ctz, csz)
-        s2 = ws.get("s2", npair, dt).reshape(ctz, csz)
-        tmp = ws.get("tmp", npair, dt).reshape(ctz, csz)
-        np.subtract(tx[:, None], sx[None, :], out=dx)
-        np.subtract(ty[:, None], sy[None, :], out=dy)
-        np.subtract(tz[:, None], sz[None, :], out=dz)
-        np.multiply(dx, dx, out=s2)
-        np.multiply(dy, dy, out=tmp)
-        s2 += tmp
-        np.multiply(dz, dz, out=tmp)
-        s2 += tmp
-        s2 *= inv_sp2  # squared separations in cell units
-        inside = ws.get("inside", npair, np.bool_).reshape(ctz, csz)
-        mask2 = ws.get("mask2", npair, np.bool_).reshape(ctz, csz)
-        np.greater(s2, 0.0, out=inside)
-        np.less(s2, rc2_cells, out=mask2)
-        inside &= mask2
-        # compress: the expensive kernel math only touches in-cutoff pairs
-        idx = np.flatnonzero(inside.ravel())
-        k = idx.size
-        if k == 0:
-            return 0
-        sc = ws.get("sc", k, dt)
-        np.take(s2.ravel(), idx, out=sc)
-        f = ws.get("f", k, dt)
-        scratch = ws.get("scratch", k, dt)
-        self.kernel.pair_coeff_into(sc, f, scratch)
-        row = ws.get("row", k, np.int64)
-        col = ws.get("col", k, np.int64)
-        np.floor_divide(idx, csz, out=row)
-        np.multiply(row, csz, out=col)
-        np.subtract(idx, col, out=col)
-        np.take(sm, col, out=scratch)
-        f *= scratch  # coefficient * m_j / spacing^3
-        grab = ws.get("grab", k, dt)
-        for comp, d in enumerate((dx, dy, dz)):
-            np.take(d.ravel(), idx, out=grab)
-            grab *= f
-            gacc[:, comp] -= np.bincount(row, weights=grab, minlength=ctz)
-        return k

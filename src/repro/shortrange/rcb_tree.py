@@ -102,7 +102,12 @@ class RCBTree:
         masses: np.ndarray | None = None,
         leaf_size: int = 128,
     ) -> None:
-        pos = np.asarray(positions, dtype=np.float64)
+        # preserve float32 inputs (mixed-precision runs); everything else
+        # is promoted to float64 as before
+        dt = np.asarray(positions).dtype
+        if dt not in (np.float32, np.float64):
+            dt = np.dtype(np.float64)
+        pos = np.asarray(positions, dtype=dt)
         if pos.ndim != 2 or pos.shape[1] != 3:
             raise ValueError(f"positions must be (N, 3), got {pos.shape}")
         if leaf_size < 1:
@@ -111,9 +116,9 @@ class RCBTree:
         self.leaf_size = int(leaf_size)
         self.n_particles = n
         m = (
-            np.ones(n, dtype=np.float64)
+            np.ones(n, dtype=dt)
             if masses is None
-            else np.asarray(masses, dtype=np.float64)
+            else np.asarray(masses, dtype=dt)
         )
         if m.shape != (n,):
             raise ValueError(f"masses shape {m.shape} != ({n},)")

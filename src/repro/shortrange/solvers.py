@@ -61,8 +61,12 @@ def periodic_ghosts(
         raise ValueError(
             f"rcut must lie in (0, box/2): rcut={rcut}, box={box_size}"
         )
-    pos = np.mod(np.asarray(positions, dtype=np.float64), box_size)
-    m = np.asarray(masses, dtype=np.float64)
+    # preserve the caller's precision: an f32 run keeps f32 ghosts
+    dt = np.asarray(positions).dtype
+    if dt not in (np.float32, np.float64):
+        dt = np.float64
+    pos = np.mod(np.asarray(positions, dtype=dt), dt.type(box_size))
+    m = np.asarray(masses, dtype=dt)
     n = pos.shape[0]
     # one stacked 26-offset computation instead of a triple Python loop;
     # selecting per (particle, shift) pair also guarantees corner images
@@ -102,19 +106,31 @@ def build_solver(
     leaf_size: int = 128,
     naive: bool = False,
     chunk_pairs: int = DEFAULT_CHUNK_PAIRS,
+    kernel_backend: str | None = None,
 ) -> "ShortRangeSolver":
     """Construct the short-range backend named by ``backend``.
 
     The single construction switch shared by the simulation driver and
     by executor worker initialization, so both always build the same
-    solver for the same configuration.
+    solver for the same configuration.  ``kernel_backend`` selects the
+    inner-loop implementation (numpy/numba/cupy seam); ``None`` keeps
+    the deterministic NumPy reference.
     """
     if backend == "treepm":
         return TreePMShortRange(
-            kernel, leaf_size=leaf_size, naive=naive, chunk_pairs=chunk_pairs
+            kernel,
+            leaf_size=leaf_size,
+            naive=naive,
+            chunk_pairs=chunk_pairs,
+            kernel_backend=kernel_backend,
         )
     if backend == "p3m":
-        return P3MShortRange(kernel, naive=naive, chunk_pairs=chunk_pairs)
+        return P3MShortRange(
+            kernel,
+            naive=naive,
+            chunk_pairs=chunk_pairs,
+            kernel_backend=kernel_backend,
+        )
     if backend == "direct":
         return DirectShortRange(kernel)
     raise ValueError(f"unknown short-range backend {backend!r}")
@@ -128,6 +144,8 @@ def solver_spec(backend: str, kernel: ShortRangeKernel, **kwargs) -> dict:
     kernel — and with it private counters and a private
     :class:`~repro.shortrange.batch.Workspace`; engine buffers are
     grow-only and not safe to share between concurrent evaluations.
+    The kernel *backend* travels by name (picklable), so process workers
+    reconstruct the same numpy/numba choice the driver resolved.
     """
     return {
         "backend": backend,
@@ -160,6 +178,7 @@ def solver_from_spec(spec: dict) -> "ShortRangeSolver":
         leaf_size=spec.get("leaf_size", 128),
         naive=spec.get("naive", False),
         chunk_pairs=spec.get("chunk_pairs", DEFAULT_CHUNK_PAIRS),
+        kernel_backend=spec.get("kernel_backend"),
     )
 
 
@@ -190,12 +209,13 @@ class ShortRangeSolver(ABC):
         ``-sum_j m_j f_SR(s_ij) (x_i - x_j)``; the driver scales by
         ``pair_force_normalization`` and the cosmological prefactor.
         """
-        pos = np.asarray(positions, dtype=np.float64)
+        dt = np.dtype(self.kernel.dtype)
+        pos = np.asarray(positions, dtype=dt)
         n = pos.shape[0]
         m = (
-            np.ones(n, dtype=np.float64)
+            np.ones(n, dtype=dt)
             if masses is None
-            else np.asarray(masses, dtype=np.float64)
+            else np.asarray(masses, dtype=dt)
         )
         if box_size is not None:
             cloud_pos, cloud_m = periodic_ghosts(
@@ -237,6 +257,9 @@ class TreePMShortRange(ShortRangeSolver):
         force and exists for the equivalence suite and A/B benchmarks.
     chunk_pairs:
         Pair-block size of the batched engine (peak-workspace knob).
+    kernel_backend:
+        Inner-loop implementation (numpy/numba/cupy seam); ``None``
+        keeps the deterministic NumPy reference.
     """
 
     def __init__(
@@ -245,13 +268,16 @@ class TreePMShortRange(ShortRangeSolver):
         leaf_size: int = 128,
         naive: bool = False,
         chunk_pairs: int = DEFAULT_CHUNK_PAIRS,
+        kernel_backend: str | None = None,
     ) -> None:
         super().__init__(kernel)
         if leaf_size < 1:
             raise ValueError(f"leaf_size must be >= 1: {leaf_size}")
         self.leaf_size = int(leaf_size)
         self.naive = bool(naive)
-        self.engine = BatchedPairEngine(kernel, chunk_pairs=chunk_pairs)
+        self.engine = BatchedPairEngine(
+            kernel, chunk_pairs=chunk_pairs, backend=kernel_backend
+        )
         #: populated after each evaluation: interaction-list sizes per leaf
         self.last_list_sizes: np.ndarray | None = None
         #: populated after each evaluation: RCB tree depth (telemetry gauge)
@@ -271,14 +297,14 @@ class TreePMShortRange(ShortRangeSolver):
         reg.count("tree.list_length", int(sizes.sum()))
         self.last_list_sizes = sizes.astype(np.int64)
         acc_tree = self.engine.evaluate(batch, tree.positions, tree.masses)
-        acc = np.zeros((positions.shape[0], 3), dtype=np.float64)
+        acc = np.zeros((positions.shape[0], 3), dtype=acc_tree.dtype)
         acc[tree.perm] = acc_tree
         return acc[:n_targets]
 
     def _accelerations_naive(self, tree: RCBTree, n_targets: int):
         """The original per-leaf walk + evaluate loop (``naive=True``)."""
         reg = get_registry()
-        acc = np.zeros((tree.n_particles, 3), dtype=np.float64)
+        acc = np.zeros((tree.n_particles, 3), dtype=self.kernel.dtype)
         rcut = self.kernel.rcut
         sizes = []
         for leaf in tree.leaves():
@@ -322,10 +348,13 @@ class P3MShortRange(ShortRangeSolver):
         kernel: ShortRangeKernel,
         naive: bool = False,
         chunk_pairs: int = DEFAULT_CHUNK_PAIRS,
+        kernel_backend: str | None = None,
     ) -> None:
         super().__init__(kernel)
         self.naive = bool(naive)
-        self.engine = BatchedPairEngine(kernel, chunk_pairs=chunk_pairs)
+        self.engine = BatchedPairEngine(
+            kernel, chunk_pairs=chunk_pairs, backend=kernel_backend
+        )
 
     def _bin(self, pos: np.ndarray):
         """Chaining-mesh binning: cell geometry + cell-sorted particles."""
@@ -395,10 +424,10 @@ class P3MShortRange(ShortRangeSolver):
         )
 
     def accelerations_cloud(self, positions, masses, n_targets):
-        pos = np.asarray(positions, dtype=np.float64)
+        pos = np.asarray(positions, dtype=self.kernel.dtype)
         n_cloud = pos.shape[0]
         if n_cloud == 0:
-            return np.zeros((0, 3), dtype=np.float64)
+            return np.zeros((0, 3), dtype=self.kernel.dtype)
         with get_registry().span("p3m.binning"):
             ncell, uniq, starts, order = self._bin(pos)
         if self.naive:
@@ -415,7 +444,7 @@ class P3MShortRange(ShortRangeSolver):
     ):
         """The original per-cell walk + evaluate loop (``naive=True``)."""
         n_cloud = pos.shape[0]
-        acc = np.zeros((n_cloud, 3), dtype=np.float64)
+        acc = np.zeros((n_cloud, 3), dtype=self.kernel.dtype)
         members = {
             int(u): order[starts[i] : starts[i + 1]]
             for i, u in enumerate(uniq)
