@@ -44,6 +44,7 @@ DEFAULT_RECORDS = HERE / "records"
 DEFAULT_BASELINE = HERE / "records" / "baseline"
 DEFAULT_SPEEDUP_RECORD = HERE.parent / "BENCH_executor.json"
 DEFAULT_KERNEL_RECORD = HERE.parent / "BENCH_kernels.json"
+DEFAULT_ROOFLINE_RECORD = HERE.parent / "BENCH_roofline.json"
 
 
 def load_records(directory: Path) -> dict[str, dict]:
@@ -224,6 +225,26 @@ def check_kernel_speedup(
     failures: list[str] = []
     rows: list[tuple[str, ...]] = []
 
+    # provenance: a record measured where numba availability differed
+    # from this host is apples-to-oranges — say so loudly instead of
+    # silently comparing (the gate clauses below still self-skip on the
+    # *record's* flag, which is the honest one for its own ratios)
+    import importlib.util
+
+    host_numba = importlib.util.find_spec("numba") is not None
+    rec_numba = bool(payload.get("numba_available", False))
+    if rec_numba != host_numba:
+        print(
+            f"PROVENANCE MISMATCH [SKIPPED/UNAVAILABLE]: BENCH_kernels "
+            f"was measured with numba_available={rec_numba} but numba "
+            f"is {'importable' if host_numba else 'NOT importable'} on "
+            f"this host — its backend timings are not comparable here."
+        )
+        rows.append(
+            ("kernels", "provenance", "-", "-",
+             f"numba record={rec_numba} host={host_numba} MISMATCH")
+        )
+
     f32 = speedups.get("f32_vs_f64_numpy")
     if not isinstance(f32, (int, float)):
         failures.append("kernels: record lacks the f32_vs_f64_numpy speedup")
@@ -262,6 +283,105 @@ def check_kernel_speedup(
             f"kernels: compiled f32 kernel reached {nb:.2f}x < "
             f"{min_kernel:.2f}x over the interpreted f64 reference"
         )
+    return failures, rows
+
+
+#: phases whose counters the roofline gate requires
+ROOFLINE_REQUIRED_PHASES = ("shortrange", "cic", "fft")
+
+#: sanity ceiling on measured fraction of calibrated peak — analytic
+#: flops over measured seconds can exceed 1.0 only through calibration
+#: noise, so anything beyond 25% over peak means broken accounting
+ROOFLINE_MAX_FRAC_PEAK = 1.25
+
+
+def check_roofline(
+    fresh: dict[str, dict], record_path: Path
+) -> tuple[list[str], list[tuple[str, ...]]]:
+    """Gate the measured-roofline record; (failures, table_rows).
+
+    The record (``BENCH_roofline.json`` from
+    ``bench_roofline_measured.py``) carries per-phase achieved work for
+    an instrumented demo run at both precisions plus the host
+    calibration.  Absolute gates — no baseline involved:
+
+    * the shortrange/cic/fft phases must be present with nonzero
+      counted flops at both precisions (the counters are wired);
+    * each phase's measured fraction of calibrated peak must be sane
+      (``0 < frac <= 1.25`` — above-peak means broken accounting);
+    * the pair phase's arithmetic intensity at f32 must be >= f64
+      (same flops, half the streamed bytes — the mixed-precision
+      bandwidth argument the counters must reproduce).
+    """
+    rec = fresh.get("roofline")
+    if rec is None and record_path.is_file():
+        try:
+            rec = json.loads(record_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            return ([f"roofline: unreadable record {record_path}: {exc}"],
+                    [])
+    if rec is None:
+        return (
+            [
+                f"roofline: no record (looked in the records dir and at "
+                f"{record_path}); run bench_roofline_measured.py"
+            ],
+            [],
+        )
+    payload = rec.get("payload", {})
+    runs = payload.get("runs")
+    if not isinstance(runs, dict) or not runs:
+        return (["roofline: record has no payload.runs block"], [])
+
+    failures: list[str] = []
+    rows: list[tuple[str, ...]] = []
+    for precision in sorted(runs):
+        phases = runs[precision].get("phases", {})
+        for name in ROOFLINE_REQUIRED_PHASES:
+            ph = phases.get(name)
+            if not isinstance(ph, dict) or float(ph.get("flops", 0)) <= 0:
+                failures.append(
+                    f"roofline: {precision} run counted no flops for "
+                    f"the {name!r} phase (counter wiring broken?)"
+                )
+                rows.append(
+                    ("roofline", f"{precision}/{name}", "-", ">0 flops",
+                     "MISSING")
+                )
+                continue
+            frac = float(ph.get("frac_peak", -1.0))
+            ok = 0.0 < frac <= ROOFLINE_MAX_FRAC_PEAK
+            rows.append(
+                ("roofline", f"{precision}/{name}",
+                 f"{100 * frac:.2f}%",
+                 f"0-{100 * ROOFLINE_MAX_FRAC_PEAK:.0f}%",
+                 "ok" if ok else "INSANE %peak")
+            )
+            if not ok:
+                failures.append(
+                    f"roofline: {precision}/{name} fraction of peak "
+                    f"{frac:.4f} outside (0, {ROOFLINE_MAX_FRAC_PEAK}]"
+                )
+
+    pair_ai = payload.get("pair_ai", {})
+    ai32 = pair_ai.get("f32")
+    ai64 = pair_ai.get("f64")
+    if not isinstance(ai32, (int, float)) or not isinstance(
+        ai64, (int, float)
+    ):
+        failures.append("roofline: record lacks the pair_ai f32/f64 pair")
+    else:
+        ok = ai32 >= ai64
+        rows.append(
+            ("roofline", "pair AI", f"f32 {ai32:.3f}", f">= f64 {ai64:.3f}",
+             "ok" if ok else "f32 AI BELOW f64")
+        )
+        if not ok:
+            failures.append(
+                f"roofline: pair-phase arithmetic intensity at f32 "
+                f"({ai32:.3f}) fell below f64 ({ai64:.3f}) — the "
+                f"byte accounting lost its precision dependence"
+            )
     return failures, rows
 
 
@@ -359,6 +479,21 @@ def main(argv: list[str] | None = None) -> int:
         type=Path,
         default=DEFAULT_KERNEL_RECORD,
         help="fallback location of the kernel-sweep record",
+    )
+    ap.add_argument(
+        "--check-roofline",
+        action="store_true",
+        help="also gate the measured-roofline record (repo-root "
+             "BENCH_roofline.json or the records dir): fail when the "
+             "shortrange/cic/fft phases counted no flops, any measured "
+             "fraction of calibrated peak is outside (0, 1.25], or the "
+             "pair phase's f32 arithmetic intensity drops below f64",
+    )
+    ap.add_argument(
+        "--roofline-record",
+        type=Path,
+        default=DEFAULT_ROOFLINE_RECORD,
+        help="fallback location of the measured-roofline record",
     )
     ap.add_argument(
         "--check-health",
@@ -478,6 +613,11 @@ def main(argv: list[str] | None = None) -> int:
         )
         rows.extend(krows)
         failures.extend(kfailures)
+
+    if args.check_roofline:
+        rfailures, rrows = check_roofline(fresh, args.roofline_record)
+        rows.extend(rrows)
+        failures.extend(rfailures)
 
     widths = [max(len(r[i]) for r in rows + [("name", "kind", "cur s", "base s", "status")]) for i in range(5)]
     header = ("name", "kind", "cur s", "base s", "status")

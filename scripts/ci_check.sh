@@ -19,7 +19,10 @@
 # sweep (BENCH_kernels.json from the fig5 bench): the compiled f32
 # kernel must beat the interpreted f64 reference by 5x (self-skips
 # where numba is unavailable) and f32 must beat f64 by 1.5x on the
-# numpy path.
+# numpy path.  Lane 9 gates the measured roofline: 'report --roofline'
+# on a ledgered run must place the shortrange/cic/fft phases against
+# the calibrated host peak, and check_regression.py --check-roofline
+# holds the counters wired, %peak sane, and f32 pair AI >= f64.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -29,22 +32,22 @@ PYTHON="${PYTHON:-python}"
 export REPRO_CHAOS_SEED="${REPRO_CHAOS_SEED:-2012}"
 export REPRO_CHAOS_WORKERS="${REPRO_CHAOS_WORKERS:-2}"
 
-echo "== 1/8 smoke tests (pytest -m 'not slow') =="
+echo "== 1/9 smoke tests (pytest -m 'not slow') =="
 PYTHONPATH=src "$PYTHON" -m pytest tests -q -m "not slow"
 
-echo "== 2/8 parallel smoke (demo --workers 2) =="
+echo "== 2/9 parallel smoke (demo --workers 2) =="
 PYTHONPATH=src "$PYTHON" -m repro demo --steps 2 --n-per-dim 12 --workers 2
 
-echo "== 3/8 chaos lane (pytest -m chaos, seed $REPRO_CHAOS_SEED) =="
+echo "== 3/9 chaos lane (pytest -m chaos, seed $REPRO_CHAOS_SEED) =="
 PYTHONPATH=src "$PYTHON" -m pytest tests -q -m chaos
 
-echo "== 4/8 chaos lane under $REPRO_CHAOS_WORKERS workers =="
+echo "== 4/9 chaos lane under $REPRO_CHAOS_WORKERS workers =="
 PYTHONPATH=src "$PYTHON" -m pytest tests/test_parallel_executor.py -q -m chaos
 
-echo "== 5/8 fig5 kernel + executor scaling benchmarks =="
+echo "== 5/9 fig5 kernel + executor scaling benchmarks =="
 (cd benchmarks && PYTHONPATH=../src "$PYTHON" -m pytest bench_fig5_kernel_threading.py bench_executor_scaling.py -q)
 
-echo "== 6/8 regression + health + speedup gate =="
+echo "== 6/9 regression + health + speedup gate =="
 if [ ! -d benchmarks/records/baseline ] || \
    ! ls benchmarks/records/baseline/BENCH_*.json >/dev/null 2>&1; then
     echo "no baseline found -- bootstrapping from this run"
@@ -52,7 +55,7 @@ if [ ! -d benchmarks/records/baseline ] || \
 fi
 "$PYTHON" benchmarks/check_regression.py --check-health --check-speedup
 
-echo "== 7/8 run ledger + critical-path report lane =="
+echo "== 7/9 run ledger + critical-path report lane =="
 CI_OBS_DIR="$(mktemp -d)"
 trap 'rm -rf "$CI_OBS_DIR"' EXIT
 PYTHONPATH=src "$PYTHON" -m repro profile --steps 2 --n-per-dim 8 \
@@ -75,8 +78,30 @@ print(f"report lane: verdict {rep['verdict']}, "
       f"{len(rep['phases'])} phases compared")
 PYEOF
 
-echo "== 8/8 kernel-backend speedup gate =="
+echo "== 8/9 kernel-backend speedup gate =="
 "$PYTHON" benchmarks/check_regression.py --check-kernel-speedup
+
+echo "== 9/9 measured roofline gate =="
+# the ledgered run from lane 7 already carries a registry.json; place
+# it on the calibrated host roofline (calibration caches in the ledger)
+PYTHONPATH=src "$PYTHON" -m repro report \
+    --roofline --ledger "$CI_OBS_DIR/ledger" --json \
+    > "$CI_OBS_DIR/roofline.json"
+"$PYTHON" - "$CI_OBS_DIR/roofline.json" <<'PYEOF'
+import json, sys
+tab = json.load(open(sys.argv[1]))
+phases = {row["name"]: row for row in tab.get("phases", [])}
+for name in ("shortrange", "cic", "fft"):
+    assert name in phases, f"roofline lane: phase {name!r} missing"
+    assert phases[name]["flops"] > 0, f"{name}: no flops counted"
+    frac = phases[name]["frac_peak"]
+    assert 0.0 < frac <= 1.25, f"{name}: insane frac_peak {frac}"
+cal = tab["calibration"]
+print(f"roofline lane: peak {cal['peak_gflops']:.1f} GFLOP/s, "
+      f"{len(phases)} phases placed")
+PYEOF
+(cd benchmarks && PYTHONPATH=../src "$PYTHON" -m pytest bench_roofline_measured.py -q)
+"$PYTHON" benchmarks/check_regression.py --check-roofline
 
 echo "ci_check: all gates passed"
 

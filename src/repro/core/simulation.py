@@ -632,12 +632,22 @@ class HACCSimulation:
             ) + alerts
             self._fault_events.clear()
         if tel.enabled:
+            # achieved-throughput summary of the step just closed: the
+            # registry's StepRecord carries the per-step counter deltas
+            # the perfcount work model converts to GFLOP/s and ns/pair
+            perf = None
+            reg = get_registry()
+            if reg.enabled and reg.steps:
+                from repro.instrument.perfcount import step_perf
+
+                perf = step_perf(reg.steps[-1])
             tel.record_step(
                 step_index,
                 self.a,
                 wall,
                 residuals=residuals,
                 alerts=alerts,
+                perf=perf,
             )
 
     # ------------------------------------------------------------------

@@ -343,6 +343,16 @@ class PencilFFT:
                 out.append(fn(b, axis=axis))
         return out
 
+    def _count_fft_work(self, reg, out_blocks: list[np.ndarray]) -> None:
+        """Charge one full N^3-point transform into the fft work bucket."""
+        from repro.instrument import perfcount
+
+        itemsize = (
+            out_blocks[0].dtype.itemsize if out_blocks else 16
+        )
+        reg.count("fft.flops", perfcount.fft_flops(self.n**3))
+        reg.count("fft.bytes", perfcount.fft_bytes(self.n**3, itemsize))
+
     def forward(self, blocks: list[np.ndarray]) -> list[np.ndarray]:
         """Forward 3-D FFT: z-pencil real/complex blocks -> x-pencil spectra."""
         self._check_blocks(blocks, "z-pencil")
@@ -355,6 +365,7 @@ class PencilFFT:
             work = self._transpose_yx(work)
             out = self._fft_pass(work, axis=0, inverse=False)
         reg.count("fft.forward_points", self.n**3)
+        self._count_fft_work(reg, out)
         return out
 
     def inverse(self, blocks: list[np.ndarray]) -> list[np.ndarray]:
@@ -369,6 +380,7 @@ class PencilFFT:
             work = self._transpose_yz(work)
             out = self._fft_pass(work, axis=2, inverse=True)
         reg.count("fft.inverse_points", self.n**3)
+        self._count_fft_work(reg, out)
         return out
 
     # ------------------------------------------------------------------

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.instrument import get_registry
+from repro.instrument.perfcount import CIC_FLOPS_PER_PARTICLE, cic_bytes
 
 __all__ = [
     "cic_deposit",
@@ -176,6 +177,8 @@ def cic_deposit(
             coords.flat, cw, w, n * n * n
         )
         reg.count("cic.deposit_particles", npart)
+        reg.count("cic.flops", CIC_FLOPS_PER_PARTICLE * npart)
+        reg.count("cic.bytes", cic_bytes(npart, dt.itemsize))
     return grid.reshape(n, n, n)
 
 
@@ -211,6 +214,8 @@ def cic_interpolate(
         cw = coords.weights.astype(dt, copy=False)
         out = _cic_backend(backend).cic_gather(flat_grid, coords.flat, cw)
         reg.count("cic.interp_particles", coords.n_particles)
+        reg.count("cic.flops", CIC_FLOPS_PER_PARTICLE * coords.n_particles)
+        reg.count("cic.bytes", cic_bytes(coords.n_particles, dt.itemsize))
     return out
 
 

@@ -30,6 +30,7 @@ from repro.cosmology.gaussian_field import fourier_grid
 from repro.fft.pencil import PencilFFT
 from repro.grid.cic import ParticleGridCoords, cic_deposit, cic_interpolate
 from repro.instrument import get_registry
+from repro.instrument import perfcount
 from repro.grid.filters import (
     NOMINAL_NS,
     NOMINAL_SIGMA,
@@ -154,6 +155,7 @@ class SpectralPoissonSolver:
         with reg.span("poisson.filter"):
             out = delta_k * self._filter_green
         reg.count("poisson.filter_points", delta_k.size)
+        self._count_filter_work(reg, delta_k.size)
         return out
 
     def potential(self, delta: np.ndarray) -> np.ndarray:
@@ -190,8 +192,10 @@ class SpectralPoissonSolver:
     def _grad_component(self, payload) -> np.ndarray:
         """One gradient component: filter multiply + inverse FFT."""
         kernel, phi_k = payload
-        with get_registry().span("poisson.filter"):
+        reg = get_registry()
+        with reg.span("poisson.filter"):
             grad_k = kernel * phi_k
+        self._count_filter_work(reg, phi_k.size)
         return self._inverse(grad_k)
 
     # ------------------------------------------------------------------
@@ -211,6 +215,26 @@ class SpectralPoissonSolver:
                 pass
         return np.fft
 
+    def _complex_itemsize(self) -> int:
+        """Bytes per spectral element: complex64 on the f32 path."""
+        return 8 if self._dtype == np.float32 else 16
+
+    def _count_filter_work(self, reg, npoints: int) -> None:
+        """Charge the spectral multiply into the fft work bucket."""
+        reg.count("fft.flops", perfcount.filter_flops(npoints))
+        reg.count(
+            "fft.bytes",
+            perfcount.filter_bytes(npoints, self._complex_itemsize()),
+        )
+
+    def _count_fft_work(self, reg, npoints: int) -> None:
+        """Charge one N-point transform (5 N log2 N butterflies)."""
+        reg.count("fft.flops", perfcount.fft_flops(npoints))
+        reg.count(
+            "fft.bytes",
+            perfcount.fft_bytes(npoints, self._complex_itemsize()),
+        )
+
     def _forward(self, delta: np.ndarray) -> np.ndarray:
         reg = get_registry()
         fft = self._fft_module()
@@ -219,6 +243,7 @@ class SpectralPoissonSolver:
             if self._dtype == np.float32 and out.dtype != np.complex64:
                 out = out.astype(np.complex64)  # numpy.fft fallback
         reg.count("fft.forward_points", delta.size)
+        self._count_fft_work(reg, delta.size)
         return out
 
     def _inverse(self, field_k: np.ndarray) -> np.ndarray:
@@ -228,6 +253,7 @@ class SpectralPoissonSolver:
             out = fft.irfftn(field_k, s=(self.n,) * 3, axes=(0, 1, 2))
             out = out.astype(self._dtype, copy=False)
         reg.count("fft.inverse_points", out.size)
+        self._count_fft_work(reg, out.size)
         return out
 
     # ------------------------------------------------------------------

@@ -84,6 +84,14 @@ from repro.instrument.analysis import (
     render_analysis,
     render_comparison,
 )
+from repro.instrument.perfcount import (
+    PhaseWork,
+    achieved_gflops,
+    render_roofline,
+    roofline_table,
+    step_perf,
+    work_summary,
+)
 
 __all__ = [
     "Counter",
@@ -93,6 +101,7 @@ __all__ = [
     "HealthThresholds",
     "NullRegistry",
     "NullTelemetry",
+    "PhaseWork",
     "Registry",
     "RunAnalysis",
     "RunComparison",
@@ -106,6 +115,7 @@ __all__ = [
     "StreamFollower",
     "Telemetry",
     "Threshold",
+    "achieved_gflops",
     "analyze",
     "compare",
     "default_ledger_root",
@@ -122,12 +132,16 @@ __all__ = [
     "imbalance_factor",
     "logging_setup",
     "read_stream",
+    "render_roofline",
+    "roofline_table",
     "run_manifest",
     "set_registry",
     "set_telemetry",
     "span",
     "sparkline",
+    "step_perf",
     "timed",
     "use",
     "use_telemetry",
+    "work_summary",
 ]

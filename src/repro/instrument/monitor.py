@@ -207,12 +207,29 @@ def _run_row(name: str, data: dict) -> tuple[str, ...]:
     executor = manifest.get("executor")
     if executor and workers:
         ident = f"{ident} {executor}@{workers}w".strip()
+    # kernel backend + precision come from the manifest (recorded since
+    # the kernel-backend seam landed); achieved ns/pair from the latest
+    # step's perf block, so a live dashboard shows kernel throughput
+    kernel_backend = manifest.get("kernel_backend")
+    precision = manifest.get("precision")
+    if kernel_backend or precision:
+        kernel = f"{kernel_backend or '?'}/{precision or '?'}"
+    else:
+        kernel = "-"
+    pair_ns = "-"
+    for step in reversed(steps):
+        perf = step.get("perf") or {}
+        if perf.get("pair_ns") is not None:
+            pair_ns = f"{float(perf['pair_ns']):.0f}"
+            break
     return (
         name,
         ident or "-",
+        kernel,
         progress,
         z,
         elapsed,
+        pair_ns,
         imbal,
         f"{n_warn}W/{n_crit}C",
         status,
@@ -226,8 +243,8 @@ def render_dashboard(runs: list[tuple[str, dict]]) -> str:
     multi-stream form of ``python -m repro monitor`` and the campaign
     dashboard ROADMAP item 1 aggregates over.
     """
-    header = ("run", "config", "step", "z", "elapsed", "imbal",
-              "alerts", "status")
+    header = ("run", "config", "kernel", "step", "z", "elapsed",
+              "ns/pair", "imbal", "alerts", "status")
     rows = [_run_row(name, data) for name, data in runs]
     widths = [
         max(len(header[i]), *(len(r[i]) for r in rows)) if rows

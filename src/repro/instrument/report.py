@@ -45,6 +45,7 @@ __all__ = [
     "bucket_table",
     "render_profile",
     "write_bench_record",
+    "bench_provenance_notes",
 ]
 
 
@@ -217,6 +218,39 @@ def render_profile(
             f"{_fmt_count(registry.counter('comm.messages'))} messages"
         )
     return "\n".join(lines)
+
+
+def bench_provenance_notes(records: dict) -> list[str]:
+    """Loud warnings for bench records whose backend availability flags
+    differ from the current host.
+
+    ``BENCH_kernels.json`` (and any record carrying a
+    ``numba_available`` flag) encodes which kernel backends existed when
+    it was measured.  Comparing such a record against a host where the
+    availability differs is apples to oranges — a record timed without
+    numba says nothing about this host's compiled kernel, and vice
+    versa.  Every consumer (``report``, ``check_regression.py``) prints
+    these notes instead of silently comparing.
+    """
+    import importlib.util
+
+    host_numba = importlib.util.find_spec("numba") is not None
+    notes = []
+    for name, rec in sorted((records or {}).items()):
+        payload = rec.get("payload", rec) if isinstance(rec, dict) else {}
+        if not isinstance(payload, dict):
+            continue
+        flag = payload.get("numba_available")
+        if flag is None or bool(flag) == host_numba:
+            continue
+        notes.append(
+            f"PROVENANCE MISMATCH [SKIPPED/UNAVAILABLE]: bench record "
+            f"{name!r} was measured with numba_available={bool(flag)} "
+            f"but numba is "
+            f"{'importable' if host_numba else 'NOT importable'} on this "
+            f"host — its backend timings are not comparable here."
+        )
+    return notes
 
 
 # ----------------------------------------------------------------------

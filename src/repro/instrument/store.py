@@ -95,6 +95,10 @@ class RunEntry:
     wall_s: float | None = None
     steps_completed: int | None = None
     alerts: int | None = None
+    #: whole-run achieved GFLOP/s (analytic flops over stepped seconds,
+    #: see :func:`repro.instrument.perfcount.achieved_gflops`); ``None``
+    #: for un-instrumented runs
+    gflops: float | None = None
     artifacts: dict = field(default_factory=dict)
     extra: dict = field(default_factory=dict)
 
@@ -116,6 +120,7 @@ class RunEntry:
             "wall_s": self.wall_s,
             "steps_completed": self.steps_completed,
             "alerts": self.alerts,
+            "gflops": self.gflops,
             "artifacts": dict(self.artifacts),
             "extra": dict(self.extra),
         }
@@ -126,7 +131,7 @@ class RunEntry:
             "run_id", "created_unix", "config_hash", "seed", "backend",
             "executor", "workers", "kernel_backend", "precision",
             "n_steps", "n_particles", "git_rev",
-            "verdict", "wall_s", "steps_completed", "alerts",
+            "verdict", "wall_s", "steps_completed", "alerts", "gflops",
         )}
         known["created_unix"] = float(known.get("created_unix") or 0.0)
         if not known.get("run_id"):
@@ -210,6 +215,7 @@ class RunLedger:
         run_dir.mkdir(parents=True, exist_ok=True)
 
         artifacts: dict = {}
+        gflops = None
         if stream_path is not None and Path(stream_path).is_file():
             shutil.copy2(stream_path, run_dir / "telemetry.jsonl")
             artifacts["telemetry"] = "telemetry.jsonl"
@@ -230,6 +236,9 @@ class RunLedger:
                     fh,
                 )
             artifacts["registry"] = "registry.json"
+            from repro.instrument.perfcount import achieved_gflops
+
+            gflops = achieved_gflops(registry)
         elif trace_path is not None and Path(trace_path).is_file():
             shutil.copy2(trace_path, run_dir / "trace.json")
             artifacts["trace"] = "trace.json"
@@ -265,6 +274,7 @@ class RunLedger:
             wall_s=float(wall) if wall is not None else None,
             steps_completed=len(steps) if steps else end.get("steps"),
             alerts=end.get("alerts"),
+            gflops=gflops,
             artifacts=artifacts,
             extra=dict(extra or {}),
         )
@@ -432,6 +442,16 @@ class RunLedger:
         if path is None:
             return None
         return load_chrome_trace(path)["spans"]
+
+    def load_registry(self, entry: RunEntry) -> dict | None:
+        """Stored registry summary (sections/counters/steps), if any."""
+        path = self.artifact_path(entry, "registry")
+        if path is None:
+            return None
+        try:
+            return json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
 
     def load_bench(self, entry: RunEntry) -> dict[str, dict]:
         """Stored BENCH records of an entry: ``{name: record}``."""

@@ -79,13 +79,21 @@ class StepTelemetry:
     imbalance: dict
     residuals: dict
     alerts: tuple
+    #: achieved-throughput summary of the step (``gflops``, ``pair_ns``,
+    #: ``ai`` — see :func:`repro.instrument.perfcount.step_perf`); empty
+    #: when the registry was disabled or the step charged no work
+    perf: dict = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.perf is None:
+            object.__setattr__(self, "perf", {})
 
     @property
     def z(self) -> float:
         return 1.0 / self.a - 1.0 if self.a > 0 else float("inf")
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "step": self.index,
             "a": self.a,
             "z": self.z,
@@ -98,6 +106,9 @@ class StepTelemetry:
             "residuals": dict(self.residuals),
             "alerts": list(self.alerts),
         }
+        if self.perf:
+            out["perf"] = dict(self.perf)
+        return out
 
 
 class RunStream:
@@ -360,7 +371,9 @@ class NullTelemetry:
     def add_gauge(self, name: str, rank: int, value: float) -> None:
         return None
 
-    def record_step(self, index, a, wall_time, residuals=None, alerts=None):
+    def record_step(
+        self, index, a, wall_time, residuals=None, alerts=None, perf=None
+    ):
         return None
 
     @property
@@ -432,6 +445,7 @@ class Telemetry:
         wall_time: float,
         residuals: Mapping[str, float] | None = None,
         alerts: Iterable[Mapping] | None = None,
+        perf: Mapping | None = None,
     ) -> StepTelemetry:
         """Close out one step: snapshot gauges, compute imbalance, emit."""
         with self._lock:
@@ -450,6 +464,7 @@ class Telemetry:
             },
             residuals=dict(residuals) if residuals else {},
             alerts=tuple(dict(al) for al in alerts) if alerts else (),
+            perf=dict(perf) if perf else {},
         )
         with self._lock:
             self._steps.append(step)

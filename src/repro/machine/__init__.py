@@ -28,9 +28,12 @@ from repro.machine.fft_model import DistributedFFTModel
 from repro.machine.architectures import ARCHITECTURES, ArchSpec
 from repro.machine.perfmodel import FullCodeModel, ScalingRow
 from repro.machine.roofline import InstructionMixModel, RooflinePoint
+from repro.machine.calibrate import HostCalibration, calibrate
 from repro.machine.mapping import MappingAnalysis
 
 __all__ = [
+    "HostCalibration",
+    "calibrate",
     "BGQNode",
     "BGQSystem",
     "ForceKernelModel",

@@ -150,12 +150,12 @@ _WORKER_SPAN_CAP = 4096
 def _process_call(item):
     """Run one task in a pool worker; never raises.
 
-    Returns ``(pid, t0, t1, ok, result_or_exc, spans)``: the parent
-    re-raises failures in payload order (deterministic attribution) and
-    records the ``[t0, t1]`` interval as an external span on the
-    worker's trace lane — ``time.perf_counter`` is CLOCK_MONOTONIC on
-    Linux, shared across processes, so child timestamps land on the
-    parent timeline.
+    Returns ``(pid, t0, t1, ok, result_or_exc, spans, counters)``: the
+    parent re-raises failures in payload order (deterministic
+    attribution) and records the ``[t0, t1]`` interval as an external
+    span on the worker's trace lane — ``time.perf_counter`` is
+    CLOCK_MONOTONIC on Linux, shared across processes, so child
+    timestamps land on the parent timeline.
 
     When the parent dispatched with instrumentation enabled (``capture``
     set), the task runs against a private child-side
@@ -163,10 +163,17 @@ def _process_call(item):
     the task opened (tree build/walk, PP batches, ...) ship back as
     ``(name, path, start, end)`` tuples — so process-backend traces and
     section aggregates carry the same interior structure the thread
-    backend records directly, not just one opaque lane rectangle.
+    backend records directly, not just one opaque lane rectangle.  The
+    task's registry *counters* (tree sizes, batch pair tallies, CIC/FFT
+    work counts) ship back the same way and are merged by the parent in
+    payload order, so counted work is invariant across executor
+    backends.  Worker kernels run with ``mirror_counters=False`` and the
+    driver charges ``pp.*`` from task results, so those never appear
+    here twice.
     """
     fn, payload, capture = item
     spans: tuple = ()
+    counters: tuple = ()
     t0 = time.perf_counter()
     try:
         if capture:
@@ -178,11 +185,18 @@ def _process_call(item):
             spans = tuple(
                 (ev.name, ev.path, ev.start, ev.end) for ev in reg.events
             )
+            counters = tuple(reg.counters.items())
         else:
             result = fn(payload)
-        return (os.getpid(), t0, time.perf_counter(), True, result, spans)
+        return (
+            os.getpid(), t0, time.perf_counter(), True, result, spans,
+            counters,
+        )
     except Exception as exc:
-        return (os.getpid(), t0, time.perf_counter(), False, exc, spans)
+        return (
+            os.getpid(), t0, time.perf_counter(), False, exc, spans,
+            counters,
+        )
 
 
 class RankExecutor:
@@ -413,7 +427,7 @@ class RankExecutor:
         ]
         out, failure = [], None
         for rank, res in zip(ranks, pending):
-            pid, t0, t1, ok, value, spans = res.get()
+            pid, t0, t1, ok, value, spans, counters = res.get()
             if reg.enabled:
                 lane = self._lane(pid)
                 reg.record_external(label, t0, t1, rank=lane)
@@ -423,6 +437,10 @@ class RankExecutor:
                     reg.record_external(
                         name, s0, s1, rank=lane, path=f"{label}/{path}"
                     )
+                # worker-side counters, merged in payload order so the
+                # totals are deterministic and identical to serial/thread
+                for name, value_ in counters:
+                    reg.count(name, value_)
             if not ok and failure is None:
                 failure = (rank, value)
             out.append(value if ok else None)

@@ -23,13 +23,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.instrument import Counter, get_registry
+from repro.instrument.perfcount import PAIR_FLOPS, pair_bytes
 from repro.shortrange.grid_force import GridForceFit
 
 __all__ = ["ShortRangeKernel"]
 
 #: pair-interaction flop count of the BG/Q kernel (Section III: 168 flops
-#: per 26-instruction unrolled iteration covering 8 interactions)
-FLOPS_PER_INTERACTION = 21.0
+#: per 26-instruction unrolled iteration covering 8 interactions); the
+#: constant lives in ``repro.instrument.perfcount`` with the rest of the
+#: analytic work model and is re-exported here for backward compatibility
+FLOPS_PER_INTERACTION = PAIR_FLOPS
 
 
 @dataclass
@@ -199,7 +202,11 @@ class ShortRangeKernel:
             self._interactions.value += n  # private tally, no registry
             return
         self._interactions.add(n)
-        get_registry().count("pp.flops", FLOPS_PER_INTERACTION * n)
+        reg = get_registry()
+        reg.count("pp.flops", FLOPS_PER_INTERACTION * n)
+        # streamed traffic of the same pairs in the kernel's precision —
+        # the f32 path charges half the bytes of f64 for identical flops
+        reg.count("pp.bytes", pair_bytes(n, np.dtype(self.dtype).itemsize))
 
     # ------------------------------------------------------------------
     @property
