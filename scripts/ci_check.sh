@@ -12,7 +12,10 @@
 # baseline with benchmarks/check_regression.py --check-health
 # --check-speedup (fails on >20% slowdown of a gated bench, a CRIT
 # physics-health verdict, or a short-range executor speedup below 1.7x
-# at 4 workers; an unrecovered rank death exits 2).  Exercises
+# at 4 workers; an unrecovered rank death exits 2).  Lane 10 kills a
+# live campaign supervisor and its child mid-run (SIGKILL, a simulated
+# node death) and requires 'campaign resume' to finish the suite with
+# exactly-once ledger entries and correct attempt counts.  Exercises
 # the observability stack end to end: two small ledgered runs, then
 # 'python -m repro report --compare' must produce a machine-readable
 # JSON comparison with a verdict.  Finally gates the kernel-backend
@@ -32,22 +35,22 @@ PYTHON="${PYTHON:-python}"
 export REPRO_CHAOS_SEED="${REPRO_CHAOS_SEED:-2012}"
 export REPRO_CHAOS_WORKERS="${REPRO_CHAOS_WORKERS:-2}"
 
-echo "== 1/9 smoke tests (pytest -m 'not slow') =="
+echo "== 1/10 smoke tests (pytest -m 'not slow') =="
 PYTHONPATH=src "$PYTHON" -m pytest tests -q -m "not slow"
 
-echo "== 2/9 parallel smoke (demo --workers 2) =="
+echo "== 2/10 parallel smoke (demo --workers 2) =="
 PYTHONPATH=src "$PYTHON" -m repro demo --steps 2 --n-per-dim 12 --workers 2
 
-echo "== 3/9 chaos lane (pytest -m chaos, seed $REPRO_CHAOS_SEED) =="
+echo "== 3/10 chaos lane (pytest -m chaos, seed $REPRO_CHAOS_SEED) =="
 PYTHONPATH=src "$PYTHON" -m pytest tests -q -m chaos
 
-echo "== 4/9 chaos lane under $REPRO_CHAOS_WORKERS workers =="
+echo "== 4/10 chaos lane under $REPRO_CHAOS_WORKERS workers =="
 PYTHONPATH=src "$PYTHON" -m pytest tests/test_parallel_executor.py -q -m chaos
 
-echo "== 5/9 fig5 kernel + executor scaling benchmarks =="
+echo "== 5/10 fig5 kernel + executor scaling benchmarks =="
 (cd benchmarks && PYTHONPATH=../src "$PYTHON" -m pytest bench_fig5_kernel_threading.py bench_executor_scaling.py -q)
 
-echo "== 6/9 regression + health + speedup gate =="
+echo "== 6/10 regression + health + speedup gate =="
 if [ ! -d benchmarks/records/baseline ] || \
    ! ls benchmarks/records/baseline/BENCH_*.json >/dev/null 2>&1; then
     echo "no baseline found -- bootstrapping from this run"
@@ -55,7 +58,7 @@ if [ ! -d benchmarks/records/baseline ] || \
 fi
 "$PYTHON" benchmarks/check_regression.py --check-health --check-speedup
 
-echo "== 7/9 run ledger + critical-path report lane =="
+echo "== 7/10 run ledger + critical-path report lane =="
 CI_OBS_DIR="$(mktemp -d)"
 trap 'rm -rf "$CI_OBS_DIR"' EXIT
 PYTHONPATH=src "$PYTHON" -m repro profile --steps 2 --n-per-dim 8 \
@@ -78,10 +81,10 @@ print(f"report lane: verdict {rep['verdict']}, "
       f"{len(rep['phases'])} phases compared")
 PYEOF
 
-echo "== 8/9 kernel-backend speedup gate =="
+echo "== 8/10 kernel-backend speedup gate =="
 "$PYTHON" benchmarks/check_regression.py --check-kernel-speedup
 
-echo "== 9/9 measured roofline gate =="
+echo "== 9/10 measured roofline gate =="
 # the ledgered run from lane 7 already carries a registry.json; place
 # it on the calibrated host roofline (calibration caches in the ledger)
 PYTHONPATH=src "$PYTHON" -m repro report \
@@ -102,6 +105,107 @@ print(f"roofline lane: peak {cal['peak_gflops']:.1f} GFLOP/s, "
 PYEOF
 (cd benchmarks && PYTHONPATH=../src "$PYTHON" -m pytest bench_roofline_measured.py -q)
 "$PYTHON" benchmarks/check_regression.py --check-roofline
+
+echo "== 10/10 campaign supervisor chaos lane =="
+# A tiny 4-config campaign (one config injects a rank death that the
+# overload-replica recovery absorbs).  Mid-flight, SIGKILL both the
+# supervisor and its child -- a simulated node death -- then 'campaign
+# resume' must finish the suite with every run DONE, correct attempt
+# counts (the killed run retried once, uncharged), and exactly one
+# ledger entry per run.
+CAMP_DIR="$CI_OBS_DIR/campaign"
+cat > "$CI_OBS_DIR/campaign.toml" <<'EOF'
+[campaign]
+name = "ci-smoke"
+max_attempts = 3
+timeout_s = 300.0
+heartbeat_timeout_s = 120.0
+poll_interval_s = 0.05
+retry_base_delay = 0.01
+retry_max_delay = 0.05
+extra_args = ["--inject-slowdown", "shortrange:0.3"]
+
+[base]
+box_size = 64.0
+n_per_dim = 8
+n_steps = 4
+n_subcycles = 1
+backend = "treepm"
+
+[grid]
+seed = [1, 2]
+
+[[runs]]
+seed = 3
+
+[[runs]]
+seed = 4
+extra_args = ["--decomposition", "2,1,1", "--overload-depth", "14",
+              "--inject-rank-death", "1:0"]
+EOF
+PYTHONPATH=src "$PYTHON" -m repro campaign run "$CI_OBS_DIR/campaign.toml" \
+    --dir "$CAMP_DIR" --ledger "$CI_OBS_DIR/ledger" > /dev/null 2>&1 &
+CAMPAIGN_PID=$!
+CHILD_PID="$("$PYTHON" - "$CAMP_DIR" <<'PYEOF'
+import json, pathlib, sys, time
+camp = pathlib.Path(sys.argv[1])
+journal = camp / "journal.jsonl"
+deadline = time.monotonic() + 120
+while time.monotonic() < deadline:
+    open_runs = {}
+    if journal.is_file():
+        for line in open(journal):
+            try:
+                ev = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if ev.get("kind") == "dispatched":
+                open_runs[ev["run"]] = ev.get("pid")
+            elif ev.get("kind") == "exit":
+                open_runs.pop(ev["run"], None)
+    for rid, pid in open_runs.items():
+        tel = camp / "runs" / rid / "telemetry.jsonl"
+        # in flight with at least one flushed step: a genuine
+        # mid-trajectory kill
+        if pid and tel.is_file() and sum(1 for _ in open(tel)) >= 2:
+            print(pid)
+            sys.exit(0)
+    time.sleep(0.1)
+sys.exit("campaign lane: never reached a mid-flight state")
+PYEOF
+)"
+kill -9 "$CAMPAIGN_PID" 2>/dev/null || true
+kill -9 "$CHILD_PID" 2>/dev/null || true
+wait "$CAMPAIGN_PID" 2>/dev/null || true
+while kill -0 "$CHILD_PID" 2>/dev/null; do sleep 0.1; done
+PYTHONPATH=src "$PYTHON" -m repro campaign resume "$CI_OBS_DIR/campaign.toml" \
+    --dir "$CAMP_DIR" --ledger "$CI_OBS_DIR/ledger"
+PYTHONPATH=src "$PYTHON" -m repro campaign status "$CI_OBS_DIR/campaign.toml" \
+    --dir "$CAMP_DIR" --json > "$CI_OBS_DIR/campaign_status.json"
+"$PYTHON" - "$CI_OBS_DIR/campaign_status.json" "$CI_OBS_DIR/ledger/index.jsonl" <<'PYEOF'
+import json, sys
+status = json.load(open(sys.argv[1]))
+assert status["ok"] and status["complete"], status["counts"]
+runs = {r["run"]: r for r in status["runs"]}
+assert all(r["state"] == "DONE" for r in runs.values()), runs
+attempts = sorted(r["attempts"] for r in runs.values())
+assert attempts == [1, 1, 1, 2], f"wrong attempt counts: {attempts}"
+assert all(r["failures"] == 0 for r in runs.values()), \
+    "a supervisor kill must not charge the retry budget"
+entries = [json.loads(l) for l in open(sys.argv[2]) if l.strip()]
+campaign_runs = [
+    e["extra"]["campaign_run"] for e in entries
+    if e.get("extra", {}).get("campaign_id") == status["campaign_id"]
+]
+assert sorted(campaign_runs) == sorted(runs), \
+    f"ledger not exactly-once: {sorted(campaign_runs)}"
+bad = [e["run_id"] for e in entries
+       if e.get("extra", {}).get("campaign_id") == status["campaign_id"]
+       and e.get("verdict") not in ("OK", "WARN")]
+assert not bad, f"campaign runs with bad verdicts: {bad}"
+print(f"campaign lane: 4/4 DONE, attempts {attempts}, "
+      f"{len(campaign_runs)} ledger entries (exactly once)")
+PYEOF
 
 echo "ci_check: all gates passed"
 

@@ -1,0 +1,389 @@
+"""The campaign work queue: an append-only, fsync'd JSONL journal.
+
+Crash safety is the whole design.  The supervisor process itself is a
+failure domain — it can be SIGKILLed, OOM-killed, or lose its node —
+so campaign state lives in a journal of *facts*, one JSON line per
+event, each flushed and fsynced before the action it describes is
+considered committed:
+
+``campaign``
+    Header line: campaign id, name, run inventory.  Written once;
+    reopening verifies the id so a resume with an edited spec fails
+    loudly instead of silently re-keying runs.
+``dispatched``
+    Run ``r`` started attempt ``n`` as pid ``p``.
+``exit``
+    Attempt ``n`` of run ``r`` ended with an outcome: ``done``,
+    ``failed`` (non-zero exit), ``timeout``, ``hang`` (heartbeat
+    silence), or ``interrupted`` (supervisor shutdown — does not count
+    against the retry budget).
+``quarantined``
+    Run ``r`` exhausted its attempt budget; the campaign carries on.
+``ledgered``
+    Run ``r``'s finished artifacts were recorded in the run ledger as
+    ``ledger_run_id`` — the exactly-once marker the resume path checks
+    before recording again.
+``shutdown``
+    The supervisor exited deliberately (signal or quarantine-complete).
+
+Replaying the journal reconstructs every run's state machine::
+
+    PENDING -> RUNNING -> DONE
+                       -> FAILED ----(retry)----> RUNNING
+                       -> FAILED --(budget gone)-> QUARANTINED
+
+A run found RUNNING during replay (a ``dispatched`` with no matching
+``exit``) means the supervisor died mid-attempt: :meth:`CampaignQueue.
+reconcile` converts it to an ``exit``/``supervisor-crash`` fact and the
+run is re-dispatched — via the checkpoint auto-resume, so no work is
+lost and the ledger still sees the run exactly once.
+
+Corrupt or torn trailing lines (the crash happened mid-write) are
+skipped on replay, mirroring the run ledger's index semantics.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "CampaignJournal",
+    "CampaignQueue",
+    "JournalError",
+    "RunState",
+    "DISPATCHABLE_STATES",
+    "FAILURE_OUTCOMES",
+    "TERMINAL_STATES",
+]
+
+#: attempt outcomes that count against the retry budget; a supervisor
+#: crash or shutdown is the environment's fault, not the config's, so
+#: ``interrupted`` and ``supervisor-crash`` leave the budget untouched
+FAILURE_OUTCOMES = ("failed", "timeout", "hang")
+
+#: states from which the supervisor may (re-)dispatch a run
+DISPATCHABLE_STATES = ("PENDING", "FAILED")
+
+#: states a run never leaves
+TERMINAL_STATES = ("DONE", "QUARANTINED")
+
+
+class JournalError(RuntimeError):
+    """The journal is unusable or inconsistent with the spec."""
+
+
+@dataclass
+class RunState:
+    """Replayed view of one run's state machine."""
+
+    run_id: str
+    state: str = "PENDING"
+    #: dispatches so far (the attempt number of the *next* dispatch is
+    #: ``attempts + 1``)
+    attempts: int = 0
+    #: failures charged against the retry budget
+    failures: int = 0
+    last_outcome: str | None = None
+    last_exit_code: int | None = None
+    last_pid: int | None = None
+    ledger_run_id: str | None = None
+    #: a ``dispatched`` with no matching ``exit`` was replayed — the
+    #: supervisor crashed while this run was in flight
+    in_flight: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "run": self.run_id,
+            "state": self.state,
+            "attempts": self.attempts,
+            "failures": self.failures,
+            "last_outcome": self.last_outcome,
+            "last_exit_code": self.last_exit_code,
+            "ledger_run_id": self.ledger_run_id,
+        }
+
+
+class CampaignJournal:
+    """Append-only fsync'd JSONL event log (the queue's storage layer)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.is_file()
+
+    def append(self, record: dict) -> None:
+        """Write one event line; it is durable when this returns."""
+        rec = dict(record)
+        rec.setdefault("t", time.time())
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(rec) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def replay(self) -> list[dict]:
+        """All parseable events in order; torn trailing lines skipped."""
+        events: list[dict] = []
+        if not self.path.is_file():
+            return events
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(rec, dict):
+                    events.append(rec)
+        return events
+
+
+@dataclass
+class _Replay:
+    """The full replayed campaign state."""
+
+    header: dict | None = None
+    states: dict = field(default_factory=dict)
+    shutdowns: int = 0
+
+
+class CampaignQueue:
+    """The journal-backed state machine the supervisor drives.
+
+    Parameters
+    ----------
+    directory:
+        Campaign directory; the journal lives at
+        ``<directory>/journal.jsonl``.
+    spec:
+        The expanded :class:`~repro.campaign.specs.CampaignSpec`; run
+        inventory and ``max_attempts`` come from it.
+    """
+
+    def __init__(self, directory: str | Path, spec) -> None:
+        self.directory = Path(directory)
+        self.spec = spec
+        self.journal = CampaignJournal(self.directory / "journal.jsonl")
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def open(self, resume: bool = False) -> dict:
+        """Create or re-attach; returns the replayed run states.
+
+        A fresh directory gets the header line and the ``campaign.json``
+        sidecar.  An existing journal is verified against the spec's
+        campaign id — a mismatch (edited spec) raises
+        :class:`JournalError` rather than corrupting the accounting.
+        ``resume=True`` requires an existing journal.
+        """
+        replay = self._replay()
+        if replay.header is None:
+            if resume:
+                raise JournalError(
+                    f"no campaign journal under {self.directory} "
+                    "(nothing to resume — use 'campaign run')"
+                )
+            self.directory.mkdir(parents=True, exist_ok=True)
+            meta = self.spec.to_meta()
+            with open(
+                self.directory / "campaign.json", "w", encoding="utf-8"
+            ) as fh:
+                json.dump(meta, fh, indent=2, sort_keys=True)
+            self.journal.append(
+                {
+                    "kind": "campaign",
+                    "campaign_id": self.spec.campaign_id,
+                    "name": self.spec.name,
+                    "n_runs": len(self.spec.runs),
+                }
+            )
+            replay = self._replay()
+        else:
+            recorded = replay.header.get("campaign_id")
+            if recorded != self.spec.campaign_id:
+                raise JournalError(
+                    f"journal at {self.journal.path} belongs to campaign "
+                    f"{recorded!r}, but this spec expands to "
+                    f"{self.spec.campaign_id!r} — the spec changed; "
+                    "start a fresh campaign directory"
+                )
+        return replay.states
+
+    def reconcile(self) -> list[str]:
+        """Convert crashed-in-flight runs back to dispatchable state.
+
+        For every run replayed as ``in_flight`` (the supervisor died
+        between ``dispatched`` and ``exit``), append the missing
+        ``exit`` fact with outcome ``supervisor-crash``.  The run's
+        checkpoints survive, so its re-dispatch resumes rather than
+        recomputes — and because the ledger is only written on ``done``,
+        the crashed attempt can never double-ledger.  Returns the
+        reconciled run ids.
+        """
+        reconciled = []
+        for state in self.states().values():
+            if state.in_flight:
+                self.record_exit(
+                    state.run_id,
+                    attempt=state.attempts,
+                    outcome="supervisor-crash",
+                    exit_code=None,
+                )
+                reconciled.append(state.run_id)
+        return reconciled
+
+    # ------------------------------------------------------------------
+    # event writers (each is one durable fact)
+    # ------------------------------------------------------------------
+    def record_dispatch(
+        self, run_id: str, attempt: int, pid: int | None
+    ) -> None:
+        self.journal.append(
+            {
+                "kind": "dispatched",
+                "run": run_id,
+                "attempt": int(attempt),
+                "pid": pid,
+            }
+        )
+
+    def record_exit(
+        self,
+        run_id: str,
+        attempt: int,
+        outcome: str,
+        exit_code: int | None,
+    ) -> None:
+        self.journal.append(
+            {
+                "kind": "exit",
+                "run": run_id,
+                "attempt": int(attempt),
+                "outcome": outcome,
+                "code": exit_code,
+            }
+        )
+
+    def record_quarantine(self, run_id: str, attempts: int) -> None:
+        self.journal.append(
+            {
+                "kind": "quarantined",
+                "run": run_id,
+                "attempts": int(attempts),
+            }
+        )
+
+    def record_ledgered(self, run_id: str, ledger_run_id: str) -> None:
+        self.journal.append(
+            {
+                "kind": "ledgered",
+                "run": run_id,
+                "ledger_run_id": ledger_run_id,
+            }
+        )
+
+    def record_shutdown(self, reason: str) -> None:
+        self.journal.append({"kind": "shutdown", "reason": reason})
+
+    # ------------------------------------------------------------------
+    # replay
+    # ------------------------------------------------------------------
+    def _replay(self) -> _Replay:
+        replay = _Replay()
+        states: dict[str, RunState] = {
+            run.run_id: RunState(run_id=run.run_id)
+            for run in self.spec.runs
+        }
+        max_attempts = self.spec.policy.max_attempts
+        for event in self.journal.replay():
+            kind = event.get("kind")
+            if kind == "campaign":
+                if replay.header is None:
+                    replay.header = event
+                continue
+            if kind == "shutdown":
+                replay.shutdowns += 1
+                continue
+            run_id = event.get("run")
+            state = states.get(run_id)
+            if state is None:
+                continue  # unknown run (foreign line): ignore, don't die
+            if kind == "dispatched":
+                state.attempts = max(
+                    state.attempts, int(event.get("attempt") or 0)
+                )
+                state.last_pid = event.get("pid")
+                state.state = "RUNNING"
+                state.in_flight = True
+            elif kind == "exit":
+                state.in_flight = False
+                outcome = event.get("outcome")
+                state.last_outcome = outcome
+                state.last_exit_code = event.get("code")
+                if outcome == "done":
+                    state.state = "DONE"
+                elif outcome in ("interrupted", "supervisor-crash"):
+                    # preempted, not broken: retryable, budget untouched
+                    state.state = "PENDING"
+                else:
+                    state.failures += 1
+                    state.state = (
+                        "QUARANTINED"
+                        if state.failures >= max_attempts
+                        else "FAILED"
+                    )
+            elif kind == "quarantined":
+                state.state = "QUARANTINED"
+            elif kind == "ledgered":
+                state.ledger_run_id = event.get("ledger_run_id")
+        replay.states = states
+        return replay
+
+    def states(self) -> dict[str, RunState]:
+        """Current state of every run, replayed from the journal."""
+        return self._replay().states
+
+    # ------------------------------------------------------------------
+    # scheduling views
+    # ------------------------------------------------------------------
+    def next_dispatchable(self) -> RunState | None:
+        """The first run (spec order) that wants an attempt, if any."""
+        states = self.states()
+        for run in self.spec.runs:
+            state = states[run.run_id]
+            if state.state in DISPATCHABLE_STATES:
+                return state
+        return None
+
+    def unledgered_done(self) -> list[RunState]:
+        """DONE runs whose artifacts were never ledgered (crash window)."""
+        return [
+            s
+            for s in self.states().values()
+            if s.state == "DONE" and s.ledger_run_id is None
+        ]
+
+    def summary(self) -> dict:
+        """Aggregate counts: the campaign-level progress view."""
+        states = self.states()
+        counts: dict[str, int] = {}
+        for s in states.values():
+            counts[s.state] = counts.get(s.state, 0) + 1
+        done = counts.get("DONE", 0)
+        return {
+            "runs": len(states),
+            "counts": counts,
+            "done": done,
+            "complete": all(
+                s.state in TERMINAL_STATES for s in states.values()
+            ),
+            "ok": done == len(states),
+        }

@@ -236,3 +236,19 @@ class SimulationConfig:
         """
         payload = json.dumps(self.to_dict(), sort_keys=True)
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationConfig":
+        """Rebuild a configuration from its :meth:`to_dict` form.
+
+        The inverse of :meth:`to_dict` (the round trip preserves the
+        hash); the nested cosmology mapping becomes a
+        :class:`~repro.cosmology.background.Cosmology`.  Unknown keys
+        raise ``TypeError`` so a stale or foreign payload fails loudly
+        instead of silently dropping a knob.
+        """
+        payload = dict(data)
+        cosmo = payload.get("cosmology")
+        if isinstance(cosmo, dict):
+            payload["cosmology"] = Cosmology(**cosmo)
+        return cls(**payload)

@@ -720,14 +720,25 @@ class HACCSimulation:
         write the ``end`` record (verdict ``CRASHED``, the exception, the
         step reached) and close the stream, so ``monitor`` and the run
         ledger see a complete — if short — stream instead of a dangling
-        file.  Never raises: the original exception must propagate.
+        file.  A graceful preemption (SIGTERM/SIGINT converted to
+        :class:`~repro.resilience.signals.ShutdownRequested`) is not a
+        crash: it ends with verdict ``INTERRUPTED`` so monitors and the
+        campaign supervisor can tell "resumable" from "broken".  Never
+        raises: the original exception must propagate.
         """
         try:
+            from repro.resilience.signals import ShutdownRequested
+
+            verdict = (
+                "INTERRUPTED"
+                if isinstance(exc, ShutdownRequested)
+                else "CRASHED"
+            )
             tel = get_telemetry()
             if tel.enabled and tel.stream is not None \
                     and not tel.stream.closed:
                 tel.finish(
-                    verdict="CRASHED",
+                    verdict=verdict,
                     error=f"{type(exc).__name__}: {exc}",
                     crashed_at_step=self._step_index,
                 )

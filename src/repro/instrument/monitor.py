@@ -200,6 +200,10 @@ def _run_row(name: str, data: dict) -> tuple[str, ...]:
     n_crit = sum(1 for al in alerts if al.get("severity") == "CRIT")
     if end is not None:
         status = end.get("verdict", "OK")
+    elif not manifest and not steps:
+        # stream file absent or empty: a queued campaign run that has
+        # not been dispatched yet — distinct from a live, stepping run
+        status = "waiting"
     else:
         status = "running"
     ident = manifest.get("config_hash") or ""

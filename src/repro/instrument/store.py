@@ -144,7 +144,7 @@ class RunEntry:
 
     def meta(self) -> dict:
         """The identity block run reports lead with."""
-        return {
+        out = {
             "run_id": self.run_id,
             "config_hash": self.config_hash,
             "seed": self.seed,
@@ -155,6 +155,13 @@ class RunEntry:
             "precision": self.precision,
             "git_rev": self.git_rev,
         }
+        # campaign-dispatched runs carry their suite identity so a
+        # report ties the artifact back to its campaign + attempt
+        for key in ("campaign_id", "campaign_name", "campaign_run",
+                    "attempt"):
+            if key in self.extra:
+                out[key] = self.extra[key]
+        return out
 
 
 class RunLedger:

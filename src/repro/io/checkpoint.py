@@ -50,7 +50,6 @@ import numpy as np
 from repro.config import SimulationConfig
 from repro.core.particles import Particles
 from repro.core.simulation import HACCSimulation
-from repro.cosmology.background import Cosmology
 from repro.resilience.faults import get_fault_plan
 
 __all__ = [
@@ -311,9 +310,7 @@ def load_checkpoint(path: str | Path, **sim_kwargs) -> HACCSimulation:
     path = Path(path)
     meta, arrays = _load_verified(path)
     try:
-        cfg_dict = dict(meta["config"])
-        cfg_dict["cosmology"] = Cosmology(**cfg_dict["cosmology"])
-        config = SimulationConfig(**cfg_dict)
+        config = SimulationConfig.from_dict(meta["config"])
     except (KeyError, TypeError, ValueError) as exc:
         raise CheckpointError(
             path, f"invalid config payload: {exc}"

@@ -40,6 +40,7 @@ structure of the paper's code.
 
 from __future__ import annotations
 
+import atexit
 import itertools
 import os
 import threading
@@ -54,6 +55,7 @@ from repro.instrument import get_registry
 
 __all__ = [
     "EXECUTOR_BACKENDS",
+    "SHM_PREFIX",
     "WORKER_LANE_BASE",
     "WorkerError",
     "SharedArrayHandle",
@@ -99,6 +101,48 @@ class SharedArrayHandle:
     name: str
     shape: tuple
     dtype: str
+
+
+# ----------------------------------------------------------------------
+# creator-side leak guard: every segment this process creates is tracked
+# here and swept at interpreter exit.  ``close()`` is the normal unlink
+# path, but a run torn down mid-step — a timeout SIGTERM from the
+# campaign supervisor, an exception that skips ``sim.close()``, a test
+# that forgot the context manager — must not leave /dev/shm segments
+# behind (they survive the process and eat a machine's shm quota).
+# SIGKILL still defeats any in-process guard; the supervisor sweeps the
+# victim's segments by pid-prefixed name after a hard kill.
+# ----------------------------------------------------------------------
+_LIVE_SEGMENTS: dict[str, "object"] = {}
+_LIVE_LOCK = threading.Lock()
+
+#: /dev/shm name prefix of segments created by this process — the
+#: supervisor's post-SIGKILL sweep matches on this
+SHM_PREFIX = "repro-"
+
+
+def _track_segment(shm) -> None:
+    with _LIVE_LOCK:
+        _LIVE_SEGMENTS[shm.name] = shm
+
+
+def _untrack_segment(name: str) -> None:
+    with _LIVE_LOCK:
+        _LIVE_SEGMENTS.pop(name, None)
+
+
+@atexit.register
+def _sweep_segments() -> None:
+    """Unlink any still-live shared segments at interpreter exit."""
+    with _LIVE_LOCK:
+        leftovers = list(_LIVE_SEGMENTS.values())
+        _LIVE_SEGMENTS.clear()
+    for shm in leftovers:
+        try:
+            shm.close()
+            shm.unlink()
+        except Exception:  # pragma: no cover - already gone is fine
+            pass
 
 
 # ----------------------------------------------------------------------
@@ -485,10 +529,11 @@ class RankExecutor:
             create=True,
             size=max(int(array.nbytes), 1),
             name=(
-                f"repro-{os.getpid()}-{key.replace('/', '_')}-"
+                f"{SHM_PREFIX}{os.getpid()}-{key.replace('/', '_')}-"
                 f"{next(_HANDLE_COUNTER)}"
             ),
         )
+        _track_segment(shm)
         np.frombuffer(shm.buf, dtype=array.dtype, count=array.size)[
             :
         ] = array.ravel()
@@ -500,6 +545,7 @@ class RankExecutor:
 
     def _release_shared(self, key: str) -> None:
         shm, _ = self._shared.pop(key)
+        _untrack_segment(shm.name)
         try:
             shm.close()
             shm.unlink()

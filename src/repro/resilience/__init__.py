@@ -36,6 +36,9 @@ _EXPORTS = {
     "RecoveryReport": "repro.resilience.recovery",
     "harvest_replicas": "repro.resilience.recovery",
     "recover_ranks": "repro.resilience.recovery",
+    "INTERRUPTED_EXIT_CODE": "repro.resilience.signals",
+    "ShutdownRequested": "repro.resilience.signals",
+    "graceful_shutdown": "repro.resilience.signals",
 }
 
 __all__ = sorted(_EXPORTS)

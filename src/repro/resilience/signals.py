@@ -1,0 +1,125 @@
+"""Graceful shutdown on SIGTERM/SIGINT: checkpoint the tail, then exit.
+
+On a shared machine a run ends by preemption more often than by reaching
+``z_final`` — the batch scheduler (or the campaign supervisor, which
+sends SIGTERM on a per-run timeout) revokes the allocation and gives the
+process a short grace window.  Until this module, ``src/`` installed no
+signal handlers at all, so a preempted run died mid-step and lost
+everything since the last scheduled checkpoint, and its telemetry stream
+dangled without an ``end`` record.
+
+:func:`graceful_shutdown` converts the first delivery of each handled
+signal into a :class:`ShutdownRequested` exception raised at the next
+bytecode boundary.  It derives from :class:`BaseException` (like
+``KeyboardInterrupt``, and for the same reason): blanket ``except
+Exception`` recovery code must not swallow an operator's termination
+request.  The CLI catches it, asks the active :class:`~repro.io.
+checkpoint.Checkpointer` for a final forced checkpoint, flushes the
+telemetry ``end`` record with verdict ``INTERRUPTED``, and exits with
+:data:`INTERRUPTED_EXIT_CODE` — distinct from both success and crash, so
+a supervisor can tell "cleanly preempted, resumable" from "broken".
+
+A second delivery of the same signal falls through to the previous
+handler (normally the Python default, i.e. immediate death) so a hung
+teardown can still be killed by hand.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from typing import Callable, Iterable
+
+__all__ = [
+    "INTERRUPTED_EXIT_CODE",
+    "ShutdownRequested",
+    "graceful_shutdown",
+]
+
+#: exit status of a run that checkpointed and stopped on SIGTERM/SIGINT
+#: (BSD ``EX_TEMPFAIL``: "try again later" — exactly the resume
+#: semantics); distinct from 0 (done), 1 (error) and 2 (CRIT health)
+INTERRUPTED_EXIT_CODE = 75
+
+
+class ShutdownRequested(BaseException):
+    """A handled termination signal arrived; unwind and checkpoint.
+
+    Derives from :class:`BaseException` so ordinary ``except Exception``
+    blocks cannot absorb it (the ``KeyboardInterrupt`` precedent).
+    """
+
+    def __init__(self, signum: int) -> None:
+        self.signum = int(signum)
+        try:
+            name = signal.Signals(signum).name
+        except ValueError:  # pragma: no cover - unknown signal number
+            name = str(signum)
+        self.signal_name = name
+        super().__init__(f"shutdown requested by {name}")
+
+
+class graceful_shutdown:
+    """Context manager: raise :class:`ShutdownRequested` on termination.
+
+    Parameters
+    ----------
+    signals:
+        Signal numbers to intercept (default ``SIGTERM`` and
+        ``SIGINT``).
+    on_signal:
+        Optional callback invoked from the handler (before the raise)
+        with the signal number — e.g. to log which signal arrived.
+
+    Notes
+    -----
+    Signal handlers can only be installed from the main thread; used
+    anywhere else the context degrades to a no-op (``installed`` stays
+    False) rather than failing, so library code can wrap itself
+    unconditionally.  Handlers are chained one-shot: the first delivery
+    restores the previous handler and raises, the second falls through
+    to that previous handler.
+    """
+
+    def __init__(
+        self,
+        signals: Iterable[int] = (signal.SIGTERM, signal.SIGINT),
+        on_signal: Callable[[int], None] | None = None,
+    ) -> None:
+        self.signals = tuple(signals)
+        self.on_signal = on_signal
+        self.installed = False
+        self.triggered: int | None = None
+        self._previous: dict[int, object] = {}
+
+    def _handler(self, signum, frame) -> None:
+        self.triggered = signum
+        # one-shot: a second delivery reaches the previous handler
+        previous = self._previous.get(signum, signal.SIG_DFL)
+        try:
+            signal.signal(signum, previous)
+        except (ValueError, OSError):  # pragma: no cover - teardown race
+            pass
+        if self.on_signal is not None:
+            self.on_signal(signum)
+        raise ShutdownRequested(signum)
+
+    def __enter__(self) -> "graceful_shutdown":
+        if threading.current_thread() is not threading.main_thread():
+            return self
+        for signum in self.signals:
+            self._previous[signum] = signal.getsignal(signum)
+            signal.signal(signum, self._handler)
+        self.installed = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self.installed:
+            for signum, previous in self._previous.items():
+                try:
+                    if signal.getsignal(signum) == self._handler:
+                        signal.signal(signum, previous)
+                except (ValueError, OSError):  # pragma: no cover
+                    pass
+            self.installed = False
+        return False

@@ -203,6 +203,41 @@ class TestRankExecutor:
         with pytest.raises(RuntimeError, match="closed"):
             ex.map(_double, [1])
 
+    def test_shared_segments_tracked_and_released(self):
+        """The leak guard tracks live segments and close() clears them."""
+        import os
+
+        from repro.parallel.executor import (
+            _LIVE_SEGMENTS,
+            _sweep_segments,
+            SHM_PREFIX,
+        )
+
+        with RankExecutor(backend="process", workers=2) as ex:
+            ref = ex.share("k", np.zeros(8))
+            assert ref.name in _LIVE_SEGMENTS
+            # pid-prefixed name: the supervisor's post-SIGKILL sweep key
+            assert ref.name.startswith(f"{SHM_PREFIX}{os.getpid()}-")
+        assert ref.name not in _LIVE_SEGMENTS
+
+    def test_atexit_sweep_unlinks_leaked_segments(self):
+        """A segment leaked past close() is unlinked by the sweep."""
+        from multiprocessing import shared_memory
+
+        from repro.parallel.executor import (
+            _LIVE_SEGMENTS,
+            _sweep_segments,
+            _track_segment,
+        )
+
+        shm = shared_memory.SharedMemory(create=True, size=64)
+        _track_segment(shm)
+        name = shm.name
+        _sweep_segments()
+        assert name not in _LIVE_SEGMENTS
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
 
 # ----------------------------------------------------------------------
 # threaded CIC through the executor (satellite: Section VI wiring)
