@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import shutil
 import sys
 from pathlib import Path
@@ -141,48 +142,98 @@ def speedup_of(rec: dict) -> dict | None:
 
 def check_speedup(
     fresh: dict[str, dict], record_path: Path, min_speedup: float
-) -> tuple[str | None, tuple[str, ...] | None]:
-    """Gate the executor-scaling speedup; (failure, table_row) or Nones.
+) -> tuple[list[str], list[tuple[str, ...]]]:
+    """Gate the executor-scaling speedups; (failures, table_rows).
 
     The record is absolute — a speedup is a ratio measured within one
-    run — so no baseline is involved: the gate fails when the curve's
-    gated point is below ``min_speedup`` or no record exists at all.
+    run — so no baseline is involved.  Two layers:
+
+    * the legacy ``payload.speedup`` block (thread @ 4 workers) gated
+      against ``min_speedup``;
+    * every entry of ``payload.speedup_gates`` (added with the
+      overlapped-execution bench: the 8-process-worker >= 3.0x scale-out
+      gate and the compute-only dispatch-overhead gate) against its own
+      ``min_required`` — **self-skipping** when this host has fewer than
+      the gate's ``min_cores`` cores, so a laptop or single-core CI
+      runner reports the gate as skipped instead of lying either way.
     """
     rec = fresh.get("executor")
     if rec is None and record_path.is_file():
         try:
             rec = json.loads(record_path.read_text())
         except (OSError, json.JSONDecodeError) as exc:
-            return (f"executor: unreadable record {record_path}: {exc}",
-                    None)
+            return ([f"executor: unreadable record {record_path}: {exc}"],
+                    [])
     if rec is None:
         return (
-            f"executor: no speedup record (looked in the records dir "
-            f"and at {record_path}); run bench_executor_scaling.py",
-            None,
+            [
+                f"executor: no speedup record (looked in the records dir "
+                f"and at {record_path}); run bench_executor_scaling.py"
+            ],
+            [],
         )
+    failures: list[str] = []
+    rows: list[tuple[str, ...]] = []
     sp = speedup_of(rec)
     if sp is None:
-        return ("executor: record has no payload.speedup block", None)
+        return (["executor: record has no payload.speedup block"], [])
     status = (
         "ok"
         if sp["value"] >= min_speedup
         else f"BELOW {min_speedup:.2f}x"
     )
-    row = (
+    rows.append((
         "executor",
         "speedup",
         f"{sp['value']:.2f}x",
         f">={min_speedup:.2f}x",
         f"{sp['backend']}@{sp['workers']}w {status}",
-    )
+    ))
     if sp["value"] < min_speedup:
-        return (
+        failures.append(
             f"executor: {sp['backend']} backend at {sp['workers']} "
-            f"workers reached {sp['value']:.2f}x < {min_speedup:.2f}x",
-            row,
+            f"workers reached {sp['value']:.2f}x < {min_speedup:.2f}x"
         )
-    return (None, row)
+
+    gates = rec.get("payload", {}).get("speedup_gates")
+    if isinstance(gates, list):
+        host_cores = os.cpu_count() or 1
+        for gate in gates:
+            if not isinstance(gate, dict):
+                continue
+            try:
+                curve = str(gate.get("curve", "emulated"))
+                workers = int(gate["workers"])
+                backend = str(gate["backend"])
+                value = float(gate["value"])
+                min_required = float(gate["min_required"])
+                min_cores = int(gate.get("min_cores", 1))
+            except (KeyError, TypeError, ValueError):
+                failures.append(
+                    f"executor: malformed speedup_gates entry {gate!r}"
+                )
+                continue
+            who = f"{backend}@{workers}w {curve}"
+            if host_cores < min_cores:
+                rows.append((
+                    "executor", "speedup", f"{value:.2f}x",
+                    f">={min_required:.2f}x",
+                    f"{who} skipped ({host_cores} < {min_cores} cores)",
+                ))
+                continue
+            ok = value >= min_required
+            rows.append((
+                "executor", "speedup", f"{value:.2f}x",
+                f">={min_required:.2f}x",
+                f"{who} {'ok' if ok else 'BELOW'}",
+            ))
+            if not ok:
+                failures.append(
+                    f"executor: {curve} curve, {backend} backend at "
+                    f"{workers} workers reached {value:.2f}x < "
+                    f"{min_required:.2f}x"
+                )
+    return (failures, rows)
 
 
 def check_kernel_speedup(
@@ -596,13 +647,11 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     if args.check_speedup:
-        failure, row = check_speedup(
+        sfailures, srows = check_speedup(
             fresh, args.speedup_record, args.min_speedup
         )
-        if row is not None:
-            rows.append(row)
-        if failure is not None:
-            failures.append(failure)
+        rows.extend(srows)
+        failures.extend(sfailures)
 
     if args.check_kernel_speedup:
         kfailures, krows = check_kernel_speedup(

@@ -4,15 +4,20 @@
 # Usage: scripts/ci_check.sh
 #
 # Runs the fast ("not slow") test suite, a parallel-executor smoke run
-# (the demo CLI under --workers 2), the deterministic chaos lane twice
+# (the demo CLI under --workers 2), an overlapped-execution smoke run
+# (the run CLI under --overlap at 2 workers, ghost exchange streamed
+# into in-flight solves), the deterministic chaos lane twice
 # (fault-injection tests under a fixed seed, REPRO_CHAOS_SEED — once on
 # the default serial fleet, once dispatched over REPRO_CHAOS_WORKERS
 # thread workers), the gated Fig. 5 kernel benchmarks plus the
 # executor-scaling bench, and checks the records against the stored
 # baseline with benchmarks/check_regression.py --check-health
 # --check-speedup (fails on >20% slowdown of a gated bench, a CRIT
-# physics-health verdict, or a short-range executor speedup below 1.7x
-# at 4 workers; an unrecovered rank death exits 2).  Lane 10 kills a
+# physics-health verdict, a short-range executor speedup below 1.7x
+# at 4 workers, or any failing speedup_gates entry — the 8-process-
+# worker >= 3.0x scale-out gate self-skips below 8 cores, the
+# compute-only dispatch-overhead gate below 4; an unrecovered rank
+# death exits 2).  Lane 11 kills a
 # live campaign supervisor and its child mid-run (SIGKILL, a simulated
 # node death) and requires 'campaign resume' to finish the suite with
 # exactly-once ledger entries and correct attempt counts.  Exercises
@@ -22,7 +27,7 @@
 # sweep (BENCH_kernels.json from the fig5 bench): the compiled f32
 # kernel must beat the interpreted f64 reference by 5x (self-skips
 # where numba is unavailable) and f32 must beat f64 by 1.5x on the
-# numpy path.  Lane 9 gates the measured roofline: 'report --roofline'
+# numpy path.  Lane 10 gates the measured roofline: 'report --roofline'
 # on a ledgered run must place the shortrange/cic/fft phases against
 # the calibrated host peak, and check_regression.py --check-roofline
 # holds the counters wired, %peak sane, and f32 pair AI >= f64.
@@ -35,22 +40,26 @@ PYTHON="${PYTHON:-python}"
 export REPRO_CHAOS_SEED="${REPRO_CHAOS_SEED:-2012}"
 export REPRO_CHAOS_WORKERS="${REPRO_CHAOS_WORKERS:-2}"
 
-echo "== 1/10 smoke tests (pytest -m 'not slow') =="
+echo "== 1/11 smoke tests (pytest -m 'not slow') =="
 PYTHONPATH=src "$PYTHON" -m pytest tests -q -m "not slow"
 
-echo "== 2/10 parallel smoke (demo --workers 2) =="
+echo "== 2/11 parallel smoke (demo --workers 2) =="
 PYTHONPATH=src "$PYTHON" -m repro demo --steps 2 --n-per-dim 12 --workers 2
 
-echo "== 3/10 chaos lane (pytest -m chaos, seed $REPRO_CHAOS_SEED) =="
+echo "== 3/11 overlapped execution smoke (run --overlap, 2 workers) =="
+PYTHONPATH=src "$PYTHON" -m repro run --steps 2 --n-per-dim 12 --workers 2 \
+    --overlap --decomposition 2,1,1 --overload-depth 8
+
+echo "== 4/11 chaos lane (pytest -m chaos, seed $REPRO_CHAOS_SEED) =="
 PYTHONPATH=src "$PYTHON" -m pytest tests -q -m chaos
 
-echo "== 4/10 chaos lane under $REPRO_CHAOS_WORKERS workers =="
+echo "== 5/11 chaos lane under $REPRO_CHAOS_WORKERS workers =="
 PYTHONPATH=src "$PYTHON" -m pytest tests/test_parallel_executor.py -q -m chaos
 
-echo "== 5/10 fig5 kernel + executor scaling benchmarks =="
+echo "== 6/11 fig5 kernel + executor scaling benchmarks =="
 (cd benchmarks && PYTHONPATH=../src "$PYTHON" -m pytest bench_fig5_kernel_threading.py bench_executor_scaling.py -q)
 
-echo "== 6/10 regression + health + speedup gate =="
+echo "== 7/11 regression + health + speedup gate =="
 if [ ! -d benchmarks/records/baseline ] || \
    ! ls benchmarks/records/baseline/BENCH_*.json >/dev/null 2>&1; then
     echo "no baseline found -- bootstrapping from this run"
@@ -58,7 +67,7 @@ if [ ! -d benchmarks/records/baseline ] || \
 fi
 "$PYTHON" benchmarks/check_regression.py --check-health --check-speedup
 
-echo "== 7/10 run ledger + critical-path report lane =="
+echo "== 8/11 run ledger + critical-path report lane =="
 CI_OBS_DIR="$(mktemp -d)"
 trap 'rm -rf "$CI_OBS_DIR"' EXIT
 PYTHONPATH=src "$PYTHON" -m repro profile --steps 2 --n-per-dim 8 \
@@ -81,10 +90,10 @@ print(f"report lane: verdict {rep['verdict']}, "
       f"{len(rep['phases'])} phases compared")
 PYEOF
 
-echo "== 8/10 kernel-backend speedup gate =="
+echo "== 9/11 kernel-backend speedup gate =="
 "$PYTHON" benchmarks/check_regression.py --check-kernel-speedup
 
-echo "== 9/10 measured roofline gate =="
+echo "== 10/11 measured roofline gate =="
 # the ledgered run from lane 7 already carries a registry.json; place
 # it on the calibrated host roofline (calibration caches in the ledger)
 PYTHONPATH=src "$PYTHON" -m repro report \
@@ -106,7 +115,7 @@ PYEOF
 (cd benchmarks && PYTHONPATH=../src "$PYTHON" -m pytest bench_roofline_measured.py -q)
 "$PYTHON" benchmarks/check_regression.py --check-roofline
 
-echo "== 10/10 campaign supervisor chaos lane =="
+echo "== 11/11 campaign supervisor chaos lane =="
 # A tiny 4-config campaign (one config injects a rank death that the
 # overload-replica recovery absorbs).  Mid-flight, SIGKILL both the
 # supervisor and its child -- a simulated node death -- then 'campaign

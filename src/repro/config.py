@@ -77,6 +77,19 @@ class SimulationConfig:
         Rank-executor backend: ``"serial"`` (default), ``"thread"``
         (NumPy-GIL-release thread pool) or ``"process"``
         (shared-memory fork pool).
+    worker_groups:
+        Shard the process backend's workers into this many rank groups
+        (independent pools of ``workers // worker_groups`` processes —
+        the paper's 5-D torus partitioning; see
+        :class:`repro.machine.mapping.RankGroupLayout`).  Must divide
+        ``workers`` evenly.  Placement only: trajectories are identical
+        for any group count at equal ``workers``.
+    overlap:
+        Enable overlapped execution: the ghost exchange streams domains
+        into in-flight short-range solves, and the gradient inverse
+        FFTs pipeline against the CIC gathers.  Scheduling only — the
+        overlapped trajectory is bit-identical to the synchronous one
+        at equal ``workers`` (a test pins this).
     kernel_backend:
         Short-range inner-loop implementation: ``"auto"`` (default;
         numba when importable, else numpy), ``"numpy"`` (vectorized
@@ -116,6 +129,8 @@ class SimulationConfig:
     step_spacing: str = "a"
     workers: int = 1
     executor: str = "serial"
+    worker_groups: int = 1
+    overlap: bool = False
     kernel_backend: str = "auto"
     dtype: str = "f64"
     seed: int = 0
@@ -166,6 +181,18 @@ class SimulationConfig:
             raise ValueError(
                 f"executor must be one of {_EXECUTORS}, "
                 f"got {self.executor!r}"
+            )
+        if self.worker_groups < 1:
+            raise ValueError(
+                f"worker_groups must be >= 1: {self.worker_groups}"
+            )
+        if (
+            self.worker_groups > self.workers
+            or self.workers % self.worker_groups
+        ):
+            raise ValueError(
+                f"worker_groups ({self.worker_groups}) must evenly "
+                f"divide workers ({self.workers})"
             )
         if self.kernel_backend not in _KERNEL_BACKENDS:
             raise ValueError(

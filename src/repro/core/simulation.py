@@ -263,6 +263,7 @@ class HACCSimulation:
             initargs=(self._solver_spec,),
         )
         self.poisson.executor = self.executor
+        self.poisson.overlap = config.overlap
         self._worker_local = threading.local()
 
         self.exchange: OverloadExchange | None = None
@@ -337,16 +338,18 @@ class HACCSimulation:
         communication are needed during the force evaluation itself —
         exactly the decoupling the paper's overloading buys.
         """
+        plan = get_fault_plan()
+        tel = get_telemetry()
+        if self.config.overlap and self.executor.parallel:
+            return self._short_range_overlapped(positions, plan, tel)
         domains = self.exchange.distribute(
             positions,
             self.particles.momenta,
             self.particles.masses,
             self.particles.ids,
         )
-        plan = get_fault_plan()
         if plan.enabled:
             domains = self._handle_rank_death(domains, plan)
-        tel = get_telemetry()
         if self.executor.parallel:
             return self._short_range_parallel(positions, domains, tel)
         acc = np.zeros_like(positions)
@@ -396,66 +399,63 @@ class HACCSimulation:
             self._worker_local.solver = solver
         return solver
 
-    def _short_range_parallel(self, positions, domains, tel):
-        """Fan the per-domain solves out over the rank executor.
+    def _share_particles(self, positions):
+        """Publish the global particle state for process workers.
 
-        Work is *partitioned* per domain regardless of backend and all
-        reductions (acceleration scatter, counter charging, telemetry
-        gauges) happen here in rank order — which is what makes the
-        result bit-identical to the serial loop for every backend.
-        Collectives already happened (``distribute`` above) and the next
-        one waits for ``map`` to join all ranks, so the bulk-synchronous
-        structure is preserved.
+        Returns the ``(pos_mod, pos_ref, mas_ref, box)`` tuple
+        :meth:`_domain_task` needs to ship index payloads, or ``None``
+        for the in-process backends (which see the caller's arrays
+        directly).
         """
-        ex = self.executor
-        ranks = [dom.rank for dom in domains]
-        if ex.backend == "process":
-            box = self.config.box_size
-            pos_mod = np.mod(positions, box)
-            pos_ref = ex.share("shortrange.positions", pos_mod)
-            mas_ref = ex.share("shortrange.masses", self.particles.masses)
-            payloads, fns = [], []
-            for dom in domains:
-                shipped = None
-                if dom.n_total:
-                    base = pos_mod[dom.ids]
-                    codes = np.rint(
-                        (dom.positions - base) / box
-                    ).astype(np.int8)
-                    # same dtype arithmetic as the worker-side recon
-                    recon = (
-                        base + codes.astype(base.dtype) * base.dtype.type(box)
-                    )
-                    if np.array_equal(recon, dom.positions):
-                        shipped = (
-                            dom.rank, pos_ref, mas_ref,
-                            dom.ids, codes, dom.active, box,
-                        )
-                if shipped is not None:
-                    payloads.append(shipped)
-                    fns.append(_solve_domain_shared)
-                else:
-                    payloads.append(
-                        (dom.rank, dom.positions, dom.masses, dom.active)
-                    )
-                    fns.append(_solve_domain_arrays)
-            results = ex.map(
-                _dispatch_domain_task,
-                list(zip(fns, payloads)),
-                ranks=ranks,
-                label="shortrange.domain",
+        if self.executor.backend != "process":
+            return None
+        box = self.config.box_size
+        pos_mod = np.mod(positions, box)
+        pos_ref = self.executor.share("shortrange.positions", pos_mod)
+        mas_ref = self.executor.share(
+            "shortrange.masses", self.particles.masses
+        )
+        return pos_mod, pos_ref, mas_ref, box
+
+    def _domain_task(self, dom, shared):
+        """``(task_fn, payload)`` for one domain's solve.
+
+        The single source of payload construction for the synchronous
+        and overlapped dispatch paths — both ship the identical floats,
+        which is half of the bit-identity argument (the other half is
+        the shared reduction in :meth:`_reduce_domain_results`).
+        """
+        if shared is None:
+            return self._solve_domain_local, (
+                dom.rank, dom.positions, dom.masses, dom.active,
             )
-        else:
-            payloads = [
-                (dom.rank, dom.positions, dom.masses, dom.active)
-                for dom in domains
-            ]
-            results = ex.map(
-                self._solve_domain_local,
-                payloads,
-                ranks=ranks,
-                label="shortrange.domain",
+        pos_mod, pos_ref, mas_ref, box = shared
+        if dom.n_total:
+            base = pos_mod[dom.ids]
+            codes = np.rint(
+                (dom.positions - base) / box
+            ).astype(np.int8)
+            # same dtype arithmetic as the worker-side recon
+            recon = (
+                base + codes.astype(base.dtype) * base.dtype.type(box)
             )
+            if np.array_equal(recon, dom.positions):
+                return _solve_domain_shared, (
+                    dom.rank, pos_ref, mas_ref,
+                    dom.ids, codes, dom.active, box,
+                )
+        return _solve_domain_arrays, (
+            dom.rank, dom.positions, dom.masses, dom.active,
+        )
+
+    def _reduce_domain_results(self, positions, domains, results, tel):
+        """Scatter solves into the global acceleration, in rank order.
+
+        All reductions (acceleration scatter, counter charging,
+        telemetry gauges) happen here in rank order — which is what
+        makes the result bit-identical to the serial loop for every
+        backend and for the sync and overlapped dispatch paths alike.
+        """
         acc = np.zeros_like(positions)
         for dom, res in zip(domains, results):
             rank, local, pairs, depth = res
@@ -479,6 +479,109 @@ class HACCSimulation:
             # actives-first rows the task computed
             acc[dom.ids[dom.active]] = local
         return acc
+
+    def _short_range_parallel(self, positions, domains, tel):
+        """Fan the per-domain solves out over the rank executor.
+
+        Work is *partitioned* per domain regardless of backend and all
+        reductions happen in :meth:`_reduce_domain_results` in rank
+        order.  Collectives already happened (``distribute`` above) and
+        the next one waits for ``map`` to join all ranks, so the
+        bulk-synchronous structure is preserved.
+        """
+        ex = self.executor
+        ranks = [dom.rank for dom in domains]
+        shared = self._share_particles(positions)
+        tasks = [self._domain_task(dom, shared) for dom in domains]
+        if shared is not None:
+            results = ex.map(
+                _dispatch_domain_task,
+                tasks,
+                ranks=ranks,
+                label="shortrange.domain",
+            )
+        else:
+            results = ex.map(
+                self._solve_domain_local,
+                [payload for _, payload in tasks],
+                ranks=ranks,
+                label="shortrange.domain",
+            )
+        return self._reduce_domain_results(positions, domains, results, tel)
+
+    def _short_range_overlapped(self, positions, plan, tel):
+        """Comm/compute-overlapped variant of the per-domain dispatch.
+
+        The exchange streams domains out one rank at a time
+        (:meth:`~repro.parallel.overload.OverloadExchange.
+        distribute_stream`); each domain's solve is submitted the moment
+        it is assembled, so later ranks' assembly runs while earlier
+        solves are in flight — the paper's Sec. IV comm-hiding at domain
+        granularity.  An :class:`~repro.instrument.OverlapMeter` times
+        every exchange segment and classifies it hidden when at least
+        one solve was genuinely in flight, which is what the overlap-
+        efficiency column reports.
+
+        Determinism: the stream yields bitwise-identical domains in the
+        same rank order as ``distribute``, payload construction and the
+        reduction are the exact code the sync path runs, and handles are
+        consumed in submission (= rank) order — so trajectories are
+        bit-identical sync vs overlapped at equal worker counts.
+
+        A step with a scheduled rank death drains the stream first: the
+        recovery protocol needs the global domain view (survivor
+        replicas rebuild the dead rank), so its exchange is exposed comm
+        by construction, and the recovered set is then dispatched
+        asynchronously as usual.
+        """
+        from repro.instrument import OverlapMeter
+
+        ex = self.executor
+        meter = OverlapMeter()
+        shared = self._share_particles(positions)
+        stream = self.exchange.distribute_stream(
+            positions,
+            self.particles.momenta,
+            self.particles.masses,
+            self.particles.ids,
+        )
+        domains: list = []
+        with ex.wave("shortrange.overlap") as wave:
+            def submit_domain(dom):
+                fn, payload = self._domain_task(dom, shared)
+                if shared is not None:
+                    wave.submit(
+                        _dispatch_domain_task,
+                        (fn, payload),
+                        rank=dom.rank,
+                        label="shortrange.domain",
+                    )
+                else:
+                    wave.submit(
+                        fn,
+                        payload,
+                        rank=dom.rank,
+                        label="shortrange.domain",
+                        inprocess=True,
+                    )
+
+            if plan.enabled and plan.deaths_pending():
+                with meter.comm(hidden=False):
+                    domains = list(stream)
+                domains = self._handle_rank_death(domains, plan)
+                for dom in domains:
+                    submit_domain(dom)
+            else:
+                while True:
+                    hidden = any(not h.done() for h in wave.handles)
+                    with meter.comm(hidden=hidden):
+                        dom = next(stream, None)
+                    if dom is None:
+                        break
+                    domains.append(dom)
+                    submit_domain(dom)
+            results = wave.results()
+        return self._reduce_domain_results(positions, domains, results, tel)
 
     def _solve_domain_local(self, payload):
         """In-process task body (serial/thread backends)."""

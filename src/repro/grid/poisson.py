@@ -77,6 +77,12 @@ class SpectralPoissonSolver:
     kernel_backend:
         Kernel backend *name* for the CIC scatter/gather passes
         (``None`` = NumPy reference).
+    overlap:
+        Pipeline the three gradient inverse FFTs against the per-axis
+        CIC gathers (axis-x gathers while axis-y transforms) instead of
+        barriering between the two phases.  Needs a parallel executor;
+        scheduling only — components are independent and consumed in
+        axis order, so the result is bitwise identical either way.
 
     Examples
     --------
@@ -102,6 +108,7 @@ class SpectralPoissonSolver:
     executor: object | None = field(default=None, repr=False, compare=False)
     dtype: object = None
     kernel_backend: str | None = None
+    overlap: bool = False
 
     def __post_init__(self) -> None:
         if self.n < 2:
@@ -294,25 +301,60 @@ class SpectralPoissonSolver:
         if mean <= 0:
             raise ValueError("empty particle distribution")
         delta = counts / counts.dtype.type(mean) - counts.dtype.type(1.0)
-        forces = self.force_grids(delta)
-        if self._parallel():
-            comps = self.executor.map_inprocess(
-                self._gather_component,
-                [(f, positions, coords) for f in forces],
-                label="cic.gather",
-            )
+        if self._parallel() and self.overlap:
+            comps = self._pipelined_force(delta, positions, coords)
         else:
-            comps = [
-                cic_interpolate(
-                    f, positions, self.box_size, coords=coords,
-                    dtype=dt, backend=self.kernel_backend,
+            forces = self.force_grids(delta)
+            if self._parallel():
+                comps = self.executor.map_inprocess(
+                    self._gather_component,
+                    [(f, positions, coords) for f in forces],
+                    label="cic.gather",
                 )
-                for f in forces
-            ]
+            else:
+                comps = [
+                    cic_interpolate(
+                        f, positions, self.box_size, coords=coords,
+                        dtype=dt, backend=self.kernel_backend,
+                    )
+                    for f in forces
+                ]
         acc = np.stack(comps, axis=1)
         if return_delta:
             return acc, delta
         return acc
+
+    def _pipelined_force(self, delta, positions, coords) -> list:
+        """Gradient FFTs pipelined against the per-axis CIC gathers.
+
+        The barriered path finishes all three inverse transforms before
+        the first gather starts.  Here all three transforms are
+        submitted at once and each axis's gather is dispatched the
+        moment its force grid lands, so axis-x gathers while axis-y is
+        still transforming (overlap path 3 of the async pipeline).
+        Handles are consumed in axis order and the axes are independent,
+        so the stacked result is bitwise identical to the sync path.
+        """
+        ex = self.executor
+        phi_k = self.potential_k(self._forward(delta))
+        with ex.wave("pm.pipeline") as wave:
+            grads = [
+                wave.submit(
+                    self._grad_component, (kernel, phi_k),
+                    rank=axis, label="fft.gradient", inprocess=True,
+                )
+                for axis, kernel in enumerate(self._neg_grad_kernels)
+            ]
+            gathers = []
+            for axis, handle in enumerate(grads):
+                force = handle.result()
+                gathers.append(
+                    wave.submit(
+                        self._gather_component, (force, positions, coords),
+                        rank=axis, label="cic.gather", inprocess=True,
+                    )
+                )
+            return [h.result() for h in gathers]
 
     def _gather_component(self, payload) -> np.ndarray:
         """One CIC force gather (reads the shared precomputed coords)."""

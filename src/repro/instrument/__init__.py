@@ -84,6 +84,7 @@ from repro.instrument.analysis import (
     render_analysis,
     render_comparison,
 )
+from repro.instrument.overlap import OverlapMeter, overlap_efficiency
 from repro.instrument.perfcount import (
     PhaseWork,
     achieved_gflops,
@@ -101,6 +102,7 @@ __all__ = [
     "HealthThresholds",
     "NullRegistry",
     "NullTelemetry",
+    "OverlapMeter",
     "PhaseWork",
     "Registry",
     "RunAnalysis",
@@ -131,6 +133,7 @@ __all__ = [
     "get_telemetry",
     "imbalance_factor",
     "logging_setup",
+    "overlap_efficiency",
     "read_stream",
     "render_roofline",
     "roofline_table",

@@ -288,6 +288,11 @@ def step_perf(step_record) -> dict | None:
     )
     if pairs > 0 and pair_s > 0:
         perf["pair_ns"] = 1e9 * pair_s / pairs
+    from repro.instrument.overlap import overlap_efficiency
+
+    overlap = overlap_efficiency(counters)
+    if overlap is not None:
+        perf["overlap"] = overlap
     return perf
 
 
@@ -314,14 +319,18 @@ def _model_point() -> dict:
     }
 
 
-def roofline_table(phases: list[PhaseWork], calibration) -> dict:
+def roofline_table(
+    phases: list[PhaseWork], calibration, counters: dict | None = None
+) -> dict:
     """Machine-readable roofline placement of a run's phases.
 
     ``calibration`` is a :class:`repro.machine.calibrate.HostCalibration`
     giving this host's measured peak GFLOP/s and STREAM-triad GB/s; the
     balance point ``peak / bandwidth`` classifies each phase as compute-
     or memory-bound.  The ``model`` block carries the paper's numbers for
-    the measured-vs-model column.
+    the measured-vs-model column.  Pass the run's ``counters`` dict to
+    attach an ``overlap`` block (hidden vs total comm seconds from the
+    overlapped execution paths) when the run recorded one.
     """
     balance = calibration.balance()
     rows = []
@@ -344,13 +353,24 @@ def roofline_table(phases: list[PhaseWork], calibration) -> dict:
     trow = total.to_dict()
     trow["frac_peak"] = total.fraction_of_peak(calibration.peak_gflops)
     trow["bound_by"] = total.bound_by(balance)
-    return {
+    table = {
         "calibration": calibration.to_dict(),
         "balance_flops_per_byte": balance,
         "phases": rows,
         "total": trow,
         "model": _model_point(),
     }
+    if counters:
+        from repro.instrument.overlap import overlap_efficiency
+
+        efficiency = overlap_efficiency(counters)
+        if efficiency is not None:
+            table["overlap"] = {
+                "hidden_s": float(counters.get("overlap.hidden_s", 0.0)),
+                "total_s": float(counters.get("overlap.total_s", 0.0)),
+                "efficiency": efficiency,
+            }
+    return table
 
 
 def _fmt_ai(value) -> str:
@@ -396,6 +416,13 @@ def render_roofline(table: dict) -> str:
             f"{_fmt_ai(row['arithmetic_intensity']):>8s} "
             f"{100 * row['frac_peak']:6.2f}% {row['bound_by']:>8s} "
             f"{model_pct}"
+        )
+    overlap = table.get("overlap")
+    if overlap:
+        lines.append(
+            f"overlap efficiency: {100 * overlap['efficiency']:.1f}% "
+            f"({overlap['hidden_s']:.4f}s of {overlap['total_s']:.4f}s "
+            f"comm hidden behind compute)"
         )
     lines.append(
         "AI and traffic are the analytic work model (see "

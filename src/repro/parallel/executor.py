@@ -57,8 +57,12 @@ __all__ = [
     "EXECUTOR_BACKENDS",
     "SHM_PREFIX",
     "WORKER_LANE_BASE",
+    "WAVE_LANE_BASE",
     "WorkerError",
+    "UnpicklableTaskError",
     "SharedArrayHandle",
+    "TaskHandle",
+    "Wave",
     "RankExecutor",
     "resolve_shared",
 ]
@@ -69,6 +73,11 @@ EXECUTOR_BACKENDS = ("serial", "thread", "process")
 #: Chrome-trace lane offset: worker lanes live at ``pid >= 1000`` so they
 #: never collide with simulated-rank lanes (``pid = rank``)
 WORKER_LANE_BASE = 1000
+
+#: Chrome-trace lane offset for wave envelopes: each :class:`Wave` label
+#: gets a stable lane at ``pid >= 2000`` so overlapping waves render as
+#: parallel tracks above the worker lanes
+WAVE_LANE_BASE = 2000
 
 _HANDLE_COUNTER = itertools.count()
 
@@ -87,6 +96,28 @@ class WorkerError(RuntimeError):
             f"{type(original).__name__}: {original}"
         )
         self.rank = int(rank)
+        self.original = original
+
+
+class UnpicklableTaskError(TypeError):
+    """A task function cannot cross the process boundary.
+
+    Raised by the process backend's cross-process dispatch paths instead
+    of letting the pool die on an opaque pickling traceback — names the
+    offending phase so the caller knows which dispatch to fix (use a
+    module-level function, or keep the phase in-process via
+    :meth:`RankExecutor.map_inprocess` / ``submit_inprocess``).
+    """
+
+    def __init__(self, label: str, original: BaseException) -> None:
+        super().__init__(
+            f"phase {label!r} cannot be dispatched to process workers: "
+            f"its task function is not picklable "
+            f"({type(original).__name__}: {original}).  Use a "
+            f"module-level function, or dispatch with map_inprocess / "
+            f"submit_inprocess to stay in the parent process."
+        )
+        self.label = label
         self.original = original
 
 
@@ -243,6 +274,186 @@ def _process_call(item):
         )
 
 
+def _chunk_call(item):
+    """Run a contiguous chunk of payloads in one pool task; never raises.
+
+    The chunked envelope is the dispatch-overhead fix: one pickled
+    ``(fn, payloads, capture)`` message and one result message per chunk
+    instead of per payload.  Returns ``(pid, t0, t1, results, spans,
+    counters)`` where ``results`` is a per-payload ``(ok, value_or_exc)``
+    tuple in payload order; instrumentation aggregates over the whole
+    chunk (payload execution order is preserved inside it, so merged
+    counter totals match the per-payload dispatch exactly).
+    """
+    fn, payloads, capture = item
+    spans: tuple = ()
+    counters: tuple = ()
+    t0 = time.perf_counter()
+
+    def run_all():
+        out = []
+        for payload in payloads:
+            try:
+                out.append((True, fn(payload)))
+            except Exception as exc:
+                out.append((False, exc))
+        return tuple(out)
+
+    if capture:
+        from repro.instrument.registry import Registry, use
+
+        reg = Registry(max_events=_WORKER_SPAN_CAP)
+        with use(reg):
+            results = run_all()
+        spans = tuple(
+            (ev.name, ev.path, ev.start, ev.end) for ev in reg.events
+        )
+        counters = tuple(reg.counters.items())
+    else:
+        results = run_all()
+    return (os.getpid(), t0, time.perf_counter(), results, spans, counters)
+
+
+class TaskHandle:
+    """Deferred result of :meth:`RankExecutor.submit`.
+
+    ``result()`` blocks until the task finishes, merges the task's
+    instrumentation into the parent registry (process backend — exactly
+    once, on first consume, so trace lanes and counter totals follow
+    *consumption* order just like ``map``), and re-raises failures as
+    :class:`WorkerError` attributed to the submitting rank.  Handles are
+    single-task futures; consume them in a deterministic order and the
+    executor's bit-identity contract carries over unchanged.
+    """
+
+    __slots__ = (
+        "_executor", "_rank", "_label", "_kind", "_obj",
+        "_done", "_ok", "_value",
+    )
+
+    def __init__(self, executor, rank, label, kind, obj=None) -> None:
+        self._executor = executor
+        self._rank = int(rank)
+        self._label = label
+        self._kind = kind  # "value" | "error" | "future" | "pool"
+        self._obj = obj
+        self._done = kind in ("value", "error")
+        if kind == "value":
+            self._ok, self._value = True, obj
+            self._obj = None
+        elif kind == "error":
+            self._ok, self._value = False, obj
+            self._obj = None
+        else:
+            self._ok, self._value = False, None
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def label(self) -> str:
+        return self._label
+
+    def done(self) -> bool:
+        """True when the task has finished (without blocking)."""
+        if self._done:
+            return True
+        if self._kind == "future":
+            return self._obj.done()
+        return self._obj.ready()
+
+    def result(self):
+        """Block for, merge, and return the task's result (idempotent)."""
+        if not self._done:
+            self._resolve()
+        if self._ok:
+            return self._value
+        exc = self._value
+        if isinstance(exc, WorkerError):
+            raise exc
+        raise WorkerError(self._rank, exc) from exc
+
+    def _resolve(self) -> None:
+        if self._kind == "future":
+            exc = self._obj.exception()
+            if exc is not None:
+                self._ok, self._value = False, exc
+            else:
+                self._ok, self._value = True, self._obj.result()
+        else:  # "pool": a _process_call envelope from a process worker
+            pid, t0, t1, ok, value, spans, counters = self._obj.get()
+            self._executor._merge_worker_record(
+                self._label, pid, t0, t1, spans, counters
+            )
+            self._ok, self._value = ok, value
+        self._done = True
+        self._obj = None
+
+
+class Wave:
+    """A group of in-flight tasks forming one overlap wave.
+
+    Tasks submitted through a wave share a Chrome-trace envelope: on
+    ``close()`` (or context-manager exit) the wave's ``[open, close]``
+    interval is recorded as ``wave.<label>`` on a stable per-label lane
+    at :data:`WAVE_LANE_BASE`, so concurrent waves (ghost exchange vs
+    interior solves, gradient FFTs vs CIC gathers) render as overlapping
+    tracks.  ``results()`` consumes every handle in submission order —
+    the deterministic reduction order the bit-identity contract needs.
+    """
+
+    def __init__(self, executor: "RankExecutor", label: str) -> None:
+        self._executor = executor
+        self.label = str(label)
+        self._handles: list[TaskHandle] = []
+        self._t0 = time.perf_counter()
+        self._closed = False
+
+    def submit(
+        self, fn, payload, *, rank=None, label=None, inprocess=False
+    ) -> TaskHandle:
+        """Submit one task into the wave; defaults rank to wave position."""
+        if rank is None:
+            rank = len(self._handles)
+        submit = (
+            self._executor.submit_inprocess
+            if inprocess
+            else self._executor.submit
+        )
+        handle = submit(fn, payload, rank=rank, label=label or self.label)
+        self._handles.append(handle)
+        return handle
+
+    @property
+    def handles(self) -> list[TaskHandle]:
+        return list(self._handles)
+
+    def results(self) -> list:
+        """Consume all handles in submission order."""
+        return [h.result() for h in self._handles]
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        reg = get_registry()
+        if reg.enabled:
+            reg.record_external(
+                f"wave.{self.label}",
+                self._t0,
+                time.perf_counter(),
+                rank=self._executor._wave_lane(self.label),
+            )
+
+    def __enter__(self) -> "Wave":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
 class RankExecutor:
     """Dispatch independent rank-local tasks onto a worker backend.
 
@@ -259,6 +470,14 @@ class RankExecutor:
         Run once in every process-pool worker after fork (e.g. to build
         the worker's private short-range solver).  Ignored by the other
         backends, whose tasks can see the caller's objects directly.
+    groups:
+        Shard the process backend into ``groups`` independent pools of
+        ``workers // groups`` processes each — the multi-node-style rank
+        groups of the paper's 5-D torus partitioning (see
+        :class:`repro.machine.mapping.RankGroupLayout`).  Work is routed
+        to groups in contiguous blocks; results are still consumed in
+        payload order, so grouping changes placement only, never values.
+        Ignored by the serial and thread backends.
 
     Notes
     -----
@@ -274,6 +493,7 @@ class RankExecutor:
         workers: int = 1,
         initializer: Callable | None = None,
         initargs: tuple = (),
+        groups: int = 1,
     ) -> None:
         if backend not in EXECUTOR_BACKENDS:
             raise ValueError(
@@ -282,14 +502,24 @@ class RankExecutor:
             )
         if workers < 1:
             raise ValueError(f"workers must be >= 1: {workers}")
+        if groups < 1:
+            raise ValueError(f"groups must be >= 1: {groups}")
+        if groups > workers or workers % groups:
+            raise ValueError(
+                f"groups ({groups}) must evenly divide workers "
+                f"({workers})"
+            )
         self.backend = backend
         self.workers = int(workers)
+        self.groups = int(groups)
         self._initializer = initializer
         self._initargs = tuple(initargs)
         self._threads: ThreadPoolExecutor | None = None
-        self._pool = None
+        self._pools: dict[int, object] = {}  # group -> mp pool
         self._shared: dict[str, tuple] = {}  # key -> (shm, handle)
         self._lanes: dict[int, int] = {}  # thread ident / pid -> lane
+        self._wave_lanes: dict[str, int] = {}  # wave label -> lane
+        self._picklable: dict[int, bool] = {}  # id(fn) -> preflight ok
         self._lane_lock = threading.Lock()
         self._closed = False
 
@@ -307,6 +537,7 @@ class RankExecutor:
             workers=getattr(config, "workers", 1),
             initializer=initializer,
             initargs=initargs,
+            groups=getattr(config, "worker_groups", 1),
         )
 
     @property
@@ -330,6 +561,86 @@ class RankExecutor:
                 lane = WORKER_LANE_BASE + len(self._lanes)
                 self._lanes[key] = lane
             return lane
+
+    def _wave_lane(self, label: str) -> int:
+        """Stable wave-envelope lane id for a wave label."""
+        with self._lane_lock:
+            lane = self._wave_lanes.get(label)
+            if lane is None:
+                lane = WAVE_LANE_BASE + len(self._wave_lanes)
+                self._wave_lanes[label] = lane
+            return lane
+
+    # ------------------------------------------------------------------
+    # dispatch bookkeeping
+    # ------------------------------------------------------------------
+    def _check_picklable(self, fn: Callable, label: str) -> None:
+        """Preflight-pickle ``fn`` before it reaches a process pool.
+
+        A closure or bound method shipped to the pool used to surface as
+        an opaque mid-dispatch pickling traceback; fail fast with the
+        phase name instead.  Cached per function object so warm per-step
+        dispatch pays one dict lookup, not a pickle.
+        """
+        key = id(fn)
+        if self._picklable.get(key):
+            return
+        import pickle
+
+        try:
+            pickle.dumps(fn)
+        except Exception as exc:
+            raise UnpicklableTaskError(label, exc) from exc
+        self._picklable[key] = True
+
+    def _charge_dispatch(self, n_tasks: int, n_envelopes: int,
+                         seconds: float) -> None:
+        """Record dispatch overhead honestly on the parent registry."""
+        reg = get_registry()
+        if reg.enabled:
+            reg.count("executor.dispatches", 1)
+            reg.count("executor.tasks", n_tasks)
+            reg.count("executor.envelopes", n_envelopes)
+            reg.count("executor.dispatch_s", seconds)
+
+    def _chunk_bounds(self, n: int) -> list[tuple[int, int]]:
+        """Contiguous chunk boundaries for an ``n``-payload dispatch.
+
+        One chunk per worker when payloads outnumber workers (the
+        envelope-reuse fix: per-dispatch cost scales with workers, not
+        domains), one payload per chunk otherwise.  Chunks are a pure
+        scheduling decision — results are flattened back to payload
+        order, so values are identical to per-payload dispatch.
+        """
+        k = min(self.workers, n)
+        bounds = [n * i // k for i in range(k + 1)]
+        return [(a, b) for a, b in zip(bounds[:-1], bounds[1:]) if b > a]
+
+    def _group_of(self, index: int, n_items: int) -> int:
+        """Blocked chunk->group routing (see RankGroupLayout.group_of)."""
+        if self.groups == 1 or n_items < 1:
+            return 0
+        return min(index * self.groups // n_items, self.groups - 1)
+
+    def _merge_worker_record(
+        self, label, pid, t0, t1, spans, counters
+    ) -> None:
+        """Fold one process-worker envelope into the parent registry."""
+        reg = get_registry()
+        if not reg.enabled:
+            return
+        lane = self._lane(pid)
+        reg.record_external(label, t0, t1, rank=lane)
+        # worker-side interior spans, re-rooted under the task envelope
+        # so the lane renders (and nests) as a real tree
+        for name, path, s0, s1 in spans:
+            reg.record_external(
+                name, s0, s1, rank=lane, path=f"{label}/{path}"
+            )
+        # worker-side counters, merged in consumption order so the
+        # totals are deterministic and identical to serial/thread
+        for name, value_ in counters:
+            reg.count(name, value_)
 
     # ------------------------------------------------------------------
     # dispatch
@@ -379,9 +690,12 @@ class RankExecutor:
 
         For sections whose operands are large in-process arrays that are
         cheap to compute but expensive to ship (the three gradient
-        inverse FFTs, the CIC gathers): the thread backend still runs
-        them concurrently, the process backend falls back to the ordered
-        in-thread loop rather than pickling grids both ways.
+        inverse FFTs, the CIC gathers): the thread *and* process
+        backends run them concurrently on the parent's side thread pool
+        — closures and bound methods are fine here, nothing is pickled.
+        (The process backend used to fall back to an ordered serial loop
+        silently; it now gets the same thread-pool concurrency the
+        thread backend always had.)
         """
         payloads = list(payloads)
         if ranks is None:
@@ -389,9 +703,78 @@ class RankExecutor:
         ranks = [int(r) for r in ranks]
         if not payloads:
             return []
-        if self.backend == "thread" and self.workers > 1:
+        if self.workers > 1 and self.backend in ("thread", "process"):
             return self._map_thread(fn, payloads, ranks, label)
         return self._map_serial(fn, payloads, ranks, label)
+
+    # -- futures --------------------------------------------------------
+    def submit(
+        self,
+        fn: Callable,
+        payload,
+        *,
+        rank: int = 0,
+        label: str = "executor.task",
+    ) -> TaskHandle:
+        """Start ``fn(payload)`` without waiting; returns a TaskHandle.
+
+        The asynchronous counterpart of :meth:`map` — phases submit work
+        the moment its inputs exist and consume handles in a fixed order
+        later, so communication and independent compute overlap.  The
+        serial backend (and any single-worker executor) executes eagerly
+        at submit time: submission order *is* execution order, which
+        makes it the bit-identical reference for the overlapped paths.
+        """
+        rank = int(rank)
+        if self.backend == "process" and self.workers > 1:
+            return self._submit_process(fn, payload, rank, label)
+        if self.backend == "thread" and self.workers > 1:
+            return self._submit_thread(fn, payload, rank, label)
+        return self._submit_eager(fn, payload, rank, label)
+
+    def submit_inprocess(
+        self,
+        fn: Callable,
+        payload,
+        *,
+        rank: int = 0,
+        label: str = "executor.task",
+    ) -> TaskHandle:
+        """Like :meth:`submit` but never crosses a process boundary."""
+        rank = int(rank)
+        if self.workers > 1 and self.backend in ("thread", "process"):
+            return self._submit_thread(fn, payload, rank, label)
+        return self._submit_eager(fn, payload, rank, label)
+
+    def wave(self, label: str) -> Wave:
+        """Open an overlap :class:`Wave` (use as a context manager)."""
+        return Wave(self, label)
+
+    def _submit_eager(self, fn, payload, rank, label) -> TaskHandle:
+        try:
+            return TaskHandle(self, rank, label, "value", fn(payload))
+        except Exception as exc:
+            return TaskHandle(self, rank, label, "error", exc)
+
+    def _submit_thread(self, fn, payload, rank, label) -> TaskHandle:
+        pool = self._ensure_threads()
+
+        def task():
+            reg = get_registry()
+            if reg.enabled:
+                lane = self._lane(threading.get_ident())
+                with reg.span(label, rank=lane):
+                    return fn(payload)
+            return fn(payload)
+
+        return TaskHandle(self, rank, label, "future", pool.submit(task))
+
+    def _submit_process(self, fn, payload, rank, label) -> TaskHandle:
+        self._check_picklable(fn, label)
+        pool = self._ensure_pool(rank % self.groups)
+        capture = get_registry().enabled
+        res = pool.apply_async(_process_call, ((fn, payload, capture),))
+        return TaskHandle(self, rank, label, "pool", res)
 
     # -- serial ---------------------------------------------------------
     def _map_serial(self, fn, payloads, ranks, label) -> list:
@@ -418,24 +801,38 @@ class RankExecutor:
 
     def _map_thread(self, fn, payloads, ranks, label) -> list:
         pool = self._ensure_threads()
+        t0 = time.perf_counter()
+        chunks = self._chunk_bounds(len(payloads))
 
-        def task(payload):
+        def run_chunk(chunk_payloads):
+            def run_all():
+                results = []
+                for payload in chunk_payloads:
+                    try:
+                        results.append((True, fn(payload)))
+                    except Exception as exc:
+                        results.append((False, exc))
+                return results
+
             reg = get_registry()
             if reg.enabled:
                 lane = self._lane(threading.get_ident())
                 with reg.span(label, rank=lane):
-                    return fn(payload)
-            return fn(payload)
+                    return run_all()
+            return run_all()
 
-        futures = [pool.submit(task, p) for p in payloads]
+        futures = [
+            pool.submit(run_chunk, payloads[a:b]) for a, b in chunks
+        ]
+        self._charge_dispatch(
+            len(payloads), len(chunks), time.perf_counter() - t0
+        )
         out, failure = [], None
-        for rank, fut in zip(ranks, futures):
-            exc = fut.exception()
-            if exc is not None and failure is None:
-                failure = (rank, exc)
-                out.append(None)
-            else:
-                out.append(None if exc is not None else fut.result())
+        for (a, b), fut in zip(chunks, futures):
+            for rank, (ok, value) in zip(ranks[a:b], fut.result()):
+                if not ok and failure is None:
+                    failure = (rank, value)
+                out.append(value if ok else None)
         if failure is not None:
             rank, exc = failure
             if isinstance(exc, WorkerError):
@@ -444,8 +841,9 @@ class RankExecutor:
         return out
 
     # -- process --------------------------------------------------------
-    def _ensure_pool(self):
-        if self._pool is None:
+    def _ensure_pool(self, group: int = 0):
+        pool = self._pools.get(group)
+        if pool is None:
             if self._closed:
                 raise RuntimeError("executor is closed")
             import multiprocessing as mp
@@ -454,40 +852,38 @@ class RankExecutor:
                 ctx = mp.get_context("fork")
             except ValueError:  # pragma: no cover - non-POSIX fallback
                 ctx = mp.get_context("spawn")
-            self._pool = ctx.Pool(
-                processes=self.workers,
+            pool = ctx.Pool(
+                processes=self.workers // self.groups,
                 initializer=_pool_init,
                 initargs=(self._initializer, self._initargs),
             )
-        return self._pool
+            self._pools[group] = pool
+        return pool
 
     def _map_process(self, fn, payloads, ranks, label) -> list:
-        pool = self._ensure_pool()
-        reg = get_registry()
-        capture = reg.enabled
-        pending = [
-            pool.apply_async(_process_call, ((fn, p, capture),))
-            for p in payloads
-        ]
+        self._check_picklable(fn, label)
+        capture = get_registry().enabled
+        t0 = time.perf_counter()
+        chunks = self._chunk_bounds(len(payloads))
+        pending = []
+        for i, (a, b) in enumerate(chunks):
+            pool = self._ensure_pool(self._group_of(i, len(chunks)))
+            pending.append(
+                pool.apply_async(
+                    _chunk_call, ((fn, tuple(payloads[a:b]), capture),)
+                )
+            )
+        self._charge_dispatch(
+            len(payloads), len(chunks), time.perf_counter() - t0
+        )
         out, failure = [], None
-        for rank, res in zip(ranks, pending):
-            pid, t0, t1, ok, value, spans, counters = res.get()
-            if reg.enabled:
-                lane = self._lane(pid)
-                reg.record_external(label, t0, t1, rank=lane)
-                # worker-side interior spans, re-rooted under the task
-                # envelope so the lane renders (and nests) as a real tree
-                for name, path, s0, s1 in spans:
-                    reg.record_external(
-                        name, s0, s1, rank=lane, path=f"{label}/{path}"
-                    )
-                # worker-side counters, merged in payload order so the
-                # totals are deterministic and identical to serial/thread
-                for name, value_ in counters:
-                    reg.count(name, value_)
-            if not ok and failure is None:
-                failure = (rank, value)
-            out.append(value if ok else None)
+        for (a, b), res in zip(chunks, pending):
+            pid, ct0, ct1, results, spans, counters = res.get()
+            self._merge_worker_record(label, pid, ct0, ct1, spans, counters)
+            for rank, (ok, value) in zip(ranks[a:b], results):
+                if not ok and failure is None:
+                    failure = (rank, value)
+                out.append(value if ok else None)
         if failure is not None:
             rank, exc = failure
             if isinstance(exc, WorkerError):
@@ -552,6 +948,22 @@ class RankExecutor:
         except Exception:
             pass
 
+    def shared_nbytes(self) -> int:
+        """Bytes currently resident in this executor's shared segments.
+
+        The f32 SOA residency measurement: the bench records this so the
+        "128^3 fits" claim is a number, not a promise.
+        """
+        total = 0
+        for _, handle in self._shared.values():
+            count = (
+                int(np.prod(handle.shape, dtype=np.int64))
+                if handle.shape
+                else 1
+            )
+            total += count * np.dtype(handle.dtype).itemsize
+        return total
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
@@ -561,10 +973,10 @@ class RankExecutor:
         if self._threads is not None:
             self._threads.shutdown(wait=True)
             self._threads = None
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        for pool in self._pools.values():
+            pool.terminate()
+            pool.join()
+        self._pools.clear()
         for key in list(self._shared):
             self._release_shared(key)
 

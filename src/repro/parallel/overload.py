@@ -194,6 +194,63 @@ class OverloadExchange:
         sends = self._route(pos, mom, mas, pid, home)
         return self._deliver(sends, tag)
 
+    def distribute_stream(
+        self,
+        positions: np.ndarray,
+        momenta: np.ndarray,
+        masses: np.ndarray | None = None,
+        ids: np.ndarray | None = None,
+        tag: str = "overload.distribute",
+    ):
+        """Streaming :meth:`distribute`: yield domains one rank at a time.
+
+        The comm/compute-overlap entry point: routing and the alltoallv
+        run on the first ``next()`` (so the whole exchange is still one
+        collective with identical traffic accounting), but per-rank
+        *assembly* — the concatenation of received fragments into an
+        :class:`OverloadedDomain` — is lazy.  The caller dispatches each
+        domain's short-range solve as soon as it is assembled, while the
+        remaining ranks' assembly is still pending.
+
+        Per-rank assembly is the exact code :meth:`distribute` runs, in
+        the same source-rank order, so the yielded domains are bitwise
+        identical to the synchronous list — overlap changes *when* a
+        domain materializes, never its contents.
+        """
+        dt = np.asarray(positions).dtype
+        if dt not in (np.float32, np.float64):
+            dt = np.dtype(np.float64)
+        pos = np.mod(
+            np.asarray(positions, dtype=dt),
+            dt.type(self.decomposition.box_size),
+        )
+        mom = np.asarray(momenta, dtype=dt)
+        n = pos.shape[0]
+        if mom.shape != pos.shape:
+            raise ValueError(
+                f"momenta shape {mom.shape} != positions shape {pos.shape}"
+            )
+        mas = (
+            np.ones(n, dtype=dt)
+            if masses is None
+            else np.asarray(masses, dtype=dt)
+        )
+        pid = (
+            np.arange(n, dtype=np.int64)
+            if ids is None
+            else np.asarray(ids, dtype=np.int64)
+        )
+
+        home = self.decomposition.assign(pos)
+        sends = self._route(pos, mom, mas, pid, home)
+        nr = self.decomposition.n_ranks
+        payloads = [
+            [self._pack(sends[i][j]) for j in range(nr)] for i in range(nr)
+        ]
+        recv = self.comm.alltoallv(payloads, tag=tag)
+        for r in range(nr):
+            yield self._assemble(recv[r], r)
+
     def refresh(
         self,
         domains: list[OverloadedDomain],
@@ -361,32 +418,32 @@ class OverloadExchange:
             [self._pack(sends[i][j]) for j in range(nr)] for i in range(nr)
         ]
         recv = self.comm.alltoallv(payloads, tag=tag)
-        domains = []
-        for r in range(nr):
-            parts = [p for p in recv[r] if p is not None]
-            if parts:
-                pos = np.concatenate([p[0] for p in parts], axis=0)
-                mom = np.concatenate([p[1] for p in parts], axis=0)
-                mas = np.concatenate([p[2] for p in parts])
-                pid = np.concatenate([p[3] for p in parts])
-                act = np.concatenate([p[4] for p in parts])
-            else:
-                pos = np.empty((0, 3))
-                mom = np.empty((0, 3))
-                mas = np.empty(0)
-                pid = np.empty(0, dtype=np.int64)
-                act = np.empty(0, dtype=bool)
-            domains.append(
-                OverloadedDomain(
-                    rank=r,
-                    positions=pos,
-                    momenta=mom,
-                    masses=mas,
-                    ids=pid,
-                    active=act,
-                )
-            )
-        return domains
+        return [self._assemble(recv[r], r) for r in range(nr)]
+
+    @staticmethod
+    def _assemble(received: list, rank: int) -> OverloadedDomain:
+        """Concatenate one rank's received fragments, in source order."""
+        parts = [p for p in received if p is not None]
+        if parts:
+            pos = np.concatenate([p[0] for p in parts], axis=0)
+            mom = np.concatenate([p[1] for p in parts], axis=0)
+            mas = np.concatenate([p[2] for p in parts])
+            pid = np.concatenate([p[3] for p in parts])
+            act = np.concatenate([p[4] for p in parts])
+        else:
+            pos = np.empty((0, 3))
+            mom = np.empty((0, 3))
+            mas = np.empty(0)
+            pid = np.empty(0, dtype=np.int64)
+            act = np.empty(0, dtype=bool)
+        return OverloadedDomain(
+            rank=rank,
+            positions=pos,
+            momenta=mom,
+            masses=mas,
+            ids=pid,
+            active=act,
+        )
 
     @staticmethod
     def _pack(bucket: dict):

@@ -5,6 +5,7 @@ rotting.  Scripts with a size argument run at reduced scale; all are
 checked for a zero exit code and their headline output markers.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -12,15 +13,21 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+SRC = EXAMPLES.parent / "src"
 
 
 def run_example(name: str, *args: str, timeout: int = 420):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(SRC), env.get("PYTHONPATH")) if p
+    )
     return subprocess.run(
         [sys.executable, str(EXAMPLES / name), *args],
         capture_output=True,
         text=True,
         timeout=timeout,
         cwd=EXAMPLES,
+        env=env,
     )
 
 
